@@ -1,0 +1,1 @@
+bench/ablation.ml: Account_server Btree_server Cluster Cost_model Engine Int_array_server List Metrics Node Printf String Tabs_core Tabs_servers Tabs_sim Tabs_wal Txn_lib

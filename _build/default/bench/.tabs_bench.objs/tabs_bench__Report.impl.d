@@ -1,0 +1,1 @@
+bench/report.ml: Array List Paper_data Printf String Tabs_sim Workloads

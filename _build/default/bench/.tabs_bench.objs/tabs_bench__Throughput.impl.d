@@ -1,0 +1,1 @@
+bench/throughput.ml: Cluster Engine Errors Int_array_server List Node Printf Rng Server_lib String Tabs_core Tabs_lock Tabs_servers Tabs_sim Txn_lib

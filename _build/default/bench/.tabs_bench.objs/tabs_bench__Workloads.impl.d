@@ -1,0 +1,1 @@
+bench/workloads.ml: Array Cluster Cost_model Engine Int_array_server List Metrics Node Printf Rng Rpc Tabs_core Tabs_servers Tabs_sim Tabs_tm Tabs_wal Txn_lib

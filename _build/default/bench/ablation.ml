@@ -1,0 +1,257 @@
+(* Ablation benchmarks for the design choices DESIGN.md calls out:
+
+   1. Value vs operation logging — the empirical comparison the paper
+      lists as future work ("we plan to empirically compare the relative
+      merits of value and operation logging"). Same workload (N updates
+      per transaction) against the value-logged integer array and the
+      operation-logged account server; we report latency, log bytes, and
+      crash-recovery cost.
+
+   2. The read-only commit optimization — two-node read-only
+      transactions with and without the Read_only vote short-circuit.
+
+   3. Group commit — the log force batches every record of a
+      transaction into one stable write; forcing after every record
+      shows what the grouping buys. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let txns = 20
+
+let updates_per_txn = 5
+
+(* 1. value vs operation logging ----------------------------------------- *)
+
+type logging_result = {
+  elapsed_ms : float;
+  log_bytes_per_txn : float;
+  records_per_txn : float;
+  recovery_ms : float;
+  recovery_records : int;
+}
+
+let run_value_logging () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"varr" ~segment:1 ~cells:1024 ()
+  in
+  let tm = Node.tm node in
+  let engine = Cluster.engine c in
+  let t0 = Engine.now engine in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for i = 1 to txns do
+        Txn_lib.execute_transaction tm (fun tid ->
+            for u = 0 to updates_per_txn - 1 do
+              Int_array_server.set arr tid (u * 64) i
+            done)
+      done);
+  let elapsed = Engine.now engine - t0 in
+  let log = Node.log node in
+  let bytes = Tabs_wal.Log_manager.stable_bytes log in
+  let records = Tabs_wal.Log_manager.next_lsn log in
+  Node.crash node;
+  let r0 = Engine.now engine in
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node ~reinstall:(fun env ->
+            ignore
+              (Int_array_server.create env ~name:"varr" ~segment:1 ~cells:1024 ())) ())
+  in
+  let recovery = Engine.now engine - r0 in
+  {
+    elapsed_ms = float_of_int elapsed /. 1000. /. float_of_int txns;
+    log_bytes_per_txn = float_of_int bytes /. float_of_int txns;
+    records_per_txn = float_of_int records /. float_of_int txns;
+    recovery_ms = float_of_int recovery /. 1000.;
+    recovery_records = outcome.records_scanned;
+  }
+
+let run_operation_logging () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let acc =
+    Account_server.create (Node.env node) ~name:"oacc" ~segment:3 ~accounts:1024 ()
+  in
+  let tm = Node.tm node in
+  let engine = Cluster.engine c in
+  let t0 = Engine.now engine in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for _ = 1 to txns do
+        Txn_lib.execute_transaction tm (fun tid ->
+            for u = 0 to updates_per_txn - 1 do
+              Account_server.deposit acc tid (u * 64) 1
+            done)
+      done);
+  let elapsed = Engine.now engine - t0 in
+  let log = Node.log node in
+  let bytes = Tabs_wal.Log_manager.stable_bytes log in
+  let records = Tabs_wal.Log_manager.next_lsn log in
+  Node.crash node;
+  let r0 = Engine.now engine in
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node ~reinstall:(fun env ->
+            ignore
+              (Account_server.create env ~name:"oacc" ~segment:3 ~accounts:1024 ())) ())
+  in
+  let recovery = Engine.now engine - r0 in
+  {
+    elapsed_ms = float_of_int elapsed /. 1000. /. float_of_int txns;
+    log_bytes_per_txn = float_of_int bytes /. float_of_int txns;
+    records_per_txn = float_of_int records /. float_of_int txns;
+    recovery_ms = float_of_int recovery /. 1000.;
+    recovery_records = outcome.records_scanned;
+  }
+
+(* the B-tree value-logs whole 512-byte page images per modified page:
+   the case where operation logging's compact records pay off *)
+let run_btree_value_logging () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let bt = Btree_server.create (Node.env node) ~name:"vbt" ~segment:4 () in
+  let tm = Node.tm node in
+  let engine = Cluster.engine c in
+  let t0 = Engine.now engine in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for i = 1 to txns do
+        Txn_lib.execute_transaction tm (fun tid ->
+            for u = 0 to updates_per_txn - 1 do
+              Btree_server.insert bt tid
+                ~key:(Printf.sprintf "k%03d-%d" i u)
+                ~value:"v"
+            done)
+      done);
+  let elapsed = Engine.now engine - t0 in
+  let log = Node.log node in
+  let bytes = Tabs_wal.Log_manager.stable_bytes log in
+  let records = Tabs_wal.Log_manager.next_lsn log in
+  Node.crash node;
+  let r0 = Engine.now engine in
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node ~reinstall:(fun env ->
+            ignore (Btree_server.create env ~name:"vbt" ~segment:4 ())) ())
+  in
+  let recovery = Engine.now engine - r0 in
+  {
+    elapsed_ms = float_of_int elapsed /. 1000. /. float_of_int txns;
+    log_bytes_per_txn = float_of_int bytes /. float_of_int txns;
+    records_per_txn = float_of_int records /. float_of_int txns;
+    recovery_ms = float_of_int recovery /. 1000.;
+    recovery_records = outcome.records_scanned;
+  }
+
+let print_logging_comparison () =
+  Printf.printf
+    "\nAblation 1: value vs operation logging (%d txns x %d updates)\n" txns
+    updates_per_txn;
+  Printf.printf "%s\n" (String.make 78 '-');
+  let v = run_value_logging () in
+  let b = run_btree_value_logging () in
+  let o = run_operation_logging () in
+  Printf.printf "%-28s %14s %15s %14s\n" "" "value (cells)" "value (pages)"
+    "operation";
+  Printf.printf "%-28s %14.1f %15.1f %14.1f\n" "latency per txn (ms)"
+    v.elapsed_ms b.elapsed_ms o.elapsed_ms;
+  Printf.printf "%-28s %14.1f %15.1f %14.1f\n" "log bytes per txn"
+    v.log_bytes_per_txn b.log_bytes_per_txn o.log_bytes_per_txn;
+  Printf.printf "%-28s %14.1f %15.1f %14.1f\n" "log records per txn"
+    v.records_per_txn b.records_per_txn o.records_per_txn;
+  Printf.printf "%-28s %14.1f %15.1f %14.1f\n" "crash recovery (ms)"
+    v.recovery_ms b.recovery_ms o.recovery_ms;
+  Printf.printf "%-28s %14d %15d %14d\n" "records scanned at recovery"
+    v.recovery_records b.recovery_records o.recovery_records;
+  Printf.printf
+    "  (value logging of word-sized cells is compact; value logging of\n\
+    \   whole B-tree pages is not — operation records carry arguments,\n\
+    \   not page images, and one record may cover a multi-page object,\n\
+    \   at the price of the three-pass recovery: Section 2.1.3's trade)\n"
+
+(* 2. read-only commit optimization --------------------------------------- *)
+
+let run_ro_commit ~optimized =
+  let c = Cluster.create ~read_only_optimization:optimized ~nodes:2 () in
+  List.iter
+    (fun node ->
+      ignore
+        (Int_array_server.create (Node.env node)
+           ~name:(Printf.sprintf "a%d" (Node.id node))
+           ~segment:1 ~cells:64 ()))
+    (Cluster.nodes c);
+  let n0 = Cluster.node c 0 in
+  let tm = Node.tm n0 and rpc = Node.rpc n0 in
+  let engine = Cluster.engine c in
+  let metrics0 = Metrics.snapshot (Engine.metrics engine) in
+  let t0 = Engine.now engine in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for _ = 1 to txns do
+        Txn_lib.execute_transaction tm (fun tid ->
+            ignore (Int_array_server.call_get rpc ~dest:0 ~server:"a0" tid 0);
+            ignore (Int_array_server.call_get rpc ~dest:1 ~server:"a1" tid 0))
+      done);
+  let elapsed = float_of_int (Engine.now engine - t0) /. 1000. /. float_of_int txns in
+  let d =
+    Metrics.diff
+      ~later:(Metrics.snapshot (Engine.metrics engine))
+      ~earlier:metrics0
+  in
+  let per p = Metrics.weight d p /. float_of_int txns in
+  (elapsed, per Cost_model.Datagram, per Cost_model.Stable_storage_write)
+
+let print_ro_ablation () =
+  Printf.printf "\nAblation 2: read-only commit optimization (2-node reads)\n";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let e1, d1, s1 = run_ro_commit ~optimized:true in
+  let e0, d0, s0 = run_ro_commit ~optimized:false in
+  Printf.printf "%-28s %14s %14s\n" "" "optimized" "full 2PC";
+  Printf.printf "%-28s %14.1f %14.1f\n" "latency per txn (ms)" e1 e0;
+  Printf.printf "%-28s %14.2f %14.2f\n" "datagrams per txn" d1 d0;
+  Printf.printf "%-28s %14.2f %14.2f\n" "stable writes per txn" s1 s0;
+  Printf.printf
+    "  (a read-only vote ends a subtree's involvement after phase one:\n\
+    \   no prepare force, no commit datagram, no ack)\n"
+
+(* 3. group commit ---------------------------------------------------------- *)
+
+let run_group_commit ~grouped =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"g" ~segment:1 ~cells:1024 ()
+  in
+  let tm = Node.tm node in
+  let engine = Cluster.engine c in
+  let log = Node.log node in
+  let t0 = Engine.now engine in
+  let m0 = Metrics.snapshot (Engine.metrics engine) in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for i = 1 to txns do
+        Txn_lib.execute_transaction tm (fun tid ->
+            for u = 0 to updates_per_txn - 1 do
+              Int_array_server.set arr tid (u * 64) i;
+              (* an eager logger forces after every record *)
+              if not grouped then Tabs_wal.Log_manager.force_all log
+            done)
+      done);
+  let elapsed = float_of_int (Engine.now engine - t0) /. 1000. /. float_of_int txns in
+  let d =
+    Metrics.diff ~later:(Metrics.snapshot (Engine.metrics engine)) ~earlier:m0
+  in
+  (elapsed, Metrics.weight d Cost_model.Stable_storage_write /. float_of_int txns)
+
+let print_group_commit_ablation () =
+  Printf.printf "\nAblation 3: group commit (one force per txn vs per record)\n";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let e1, s1 = run_group_commit ~grouped:true in
+  let e0, s0 = run_group_commit ~grouped:false in
+  Printf.printf "%-28s %14s %14s\n" "" "grouped" "eager";
+  Printf.printf "%-28s %14.1f %14.1f\n" "latency per txn (ms)" e1 e0;
+  Printf.printf "%-28s %14.2f %14.2f\n" "stable writes per txn" s1 s0
+
+let print_all () =
+  print_logging_comparison ();
+  print_ro_ablation ();
+  print_group_commit_ablation ()

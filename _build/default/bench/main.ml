@@ -1,0 +1,131 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   section (Tables 5-1 through 5-5), the Section 5.2 accounting, and the
+   Section 7 composite-transaction estimates, printing reproduced values
+   against the published ones.
+
+   Usage:
+     bench/main.exe                 regenerate everything
+     bench/main.exe table:5-2 ...   regenerate selected tables
+     bench/main.exe bechamel        also run the Bechamel wall-clock
+                                    micro-benchmarks (one per table)
+
+   Absolute numbers come from the virtual-clock cost model (Table 5-1's
+   primitive times are model inputs); the reproduction claims are the
+   primitive *counts*, the accounting identities, and the shape checks. *)
+
+open Tabs_sim
+
+let measured_results = lazy (Tabs_bench.Workloads.run_all ~model:Cost_model.measured ())
+
+let achievable_results =
+  lazy (Tabs_bench.Workloads.run_all ~model:Cost_model.achievable ())
+
+let table_5_1 () =
+  Tabs_bench.Report.print_cost_table
+    ~title:"Table 5-1: Primitive Operation Times (model input = paper values)"
+    ~paper:Tabs_bench.Paper_data.table_5_1 Cost_model.measured
+
+let table_5_2 () = Tabs_bench.Report.print_table_5_2 (Lazy.force measured_results)
+
+let table_5_3 () = Tabs_bench.Report.print_table_5_3 (Lazy.force measured_results)
+
+let table_5_4 () =
+  Tabs_bench.Report.print_table_5_4
+    ~measured:(Lazy.force measured_results)
+    ~achievable:(Lazy.force achievable_results)
+
+let table_5_5 () =
+  Tabs_bench.Report.print_cost_table
+    ~title:"Table 5-5: Achievable Primitive Operation Times (model input)"
+    ~paper:Tabs_bench.Paper_data.table_5_5 Cost_model.achievable
+
+let accounting () = Tabs_bench.Report.print_accounting (Lazy.force measured_results)
+
+let composite () = Tabs_bench.Report.print_composite ()
+
+let ablation () = Tabs_bench.Ablation.print_all ()
+
+let throughput () = Tabs_bench.Throughput.print_all ()
+
+let shapes () =
+  Tabs_bench.Report.print_shape_checks
+    ~measured:(Lazy.force measured_results)
+    ~achievable:(Lazy.force achievable_results)
+
+(* Bechamel micro-benchmarks: one Test.make per table, measuring the
+   real wall-clock cost of regenerating that table's data. *)
+let bechamel_tests () =
+  let open Bechamel in
+  let quick_spec = List.nth Tabs_bench.Workloads.specs 0 in
+  let write_spec = List.nth Tabs_bench.Workloads.specs 4 in
+  let remote_spec = List.nth Tabs_bench.Workloads.specs 7 in
+  let run spec () =
+    ignore
+      (Tabs_bench.Workloads.run_spec ~iterations:3 ~warmup:1 ~model:Cost_model.measured
+         spec)
+  in
+  Test.make_grouped ~name:"tables"
+    [
+      Test.make ~name:"table-5-1:cost-model"
+        (Staged.stage (fun () ->
+             ignore (Cost_model.to_alist Cost_model.measured)));
+      Test.make ~name:"table-5-2:local-read-bench" (Staged.stage (run quick_spec));
+      Test.make ~name:"table-5-3:local-write-bench" (Staged.stage (run write_spec));
+      Test.make ~name:"table-5-4:two-node-bench" (Staged.stage (run remote_spec));
+      Test.make ~name:"table-5-5:cost-model"
+        (Staged.stage (fun () ->
+             ignore (Cost_model.to_alist Cost_model.achievable)));
+    ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\nBechamel wall-clock of table regeneration (ns per run):\n";
+  Hashtbl.iter
+    (fun measure tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-40s %12.0f (%s)\n" name est measure
+          | Some _ | None -> ())
+        tbl)
+    results
+
+let sections =
+  [
+    ("table:5-1", table_5_1);
+    ("table:5-2", table_5_2);
+    ("table:5-3", table_5_3);
+    ("table:5-4", table_5_4);
+    ("table:5-5", table_5_5);
+    ("accounting", accounting);
+    ("composite", composite);
+    ("ablation", ablation);
+    ("throughput", throughput);
+    ("shapes", shapes);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wants_bechamel = List.mem "bechamel" args in
+  let selected = List.filter (fun a -> a <> "bechamel") args in
+  let to_run = if selected = [] then List.map fst sections else selected in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; known: %s bechamel\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    to_run;
+  if wants_bechamel then run_bechamel ();
+  print_newline ()

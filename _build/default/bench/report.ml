@@ -1,0 +1,168 @@
+(* Table rendering: reproduced values side by side with the paper's. *)
+
+let ms us = us /. 1000.
+
+let line width = String.make width '-'
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (line (String.length title))
+
+(* Tables 5-1 / 5-5: primitive times. *)
+let print_cost_table ~title ~(paper : (string * float) list) model =
+  print_header title;
+  Printf.printf "%-30s %10s %10s\n" "Primitive" "ours(ms)" "paper(ms)";
+  List.iter
+    (fun p ->
+      let name = Tabs_sim.Cost_model.name p in
+      let ours = float_of_int (Tabs_sim.Cost_model.cost model p) /. 1000. in
+      let paper_v = List.assoc name paper in
+      Printf.printf "%-30s %10.2f %10.2f\n" name ours paper_v)
+    Tabs_sim.Cost_model.all
+
+let count_columns =
+  (* (label, index into the per-primitive weight array) following
+     Cost_model.all order *)
+  [
+    ("DSC", 0);
+    ("RemDSC", 1);
+    ("Dgram", 2);
+    ("Small", 3);
+    ("Large", 4);
+    ("Ptr", 5);
+    ("RandIO", 6);
+    ("SeqRd", 7);
+    ("Stable", 8);
+  ]
+
+let paper_counts_row (c : Paper_data.counts) =
+  [|
+    c.dsc; c.remote_dsc; c.datagram; c.small; c.large; c.pointer;
+    c.random_io; c.seq_read; c.stable;
+  |]
+
+let print_counts_line name ours paper =
+  Printf.printf "%-34s" name;
+  List.iter
+    (fun (_, i) -> Printf.printf " %5.2f/%-5.2f" ours.(i) paper.(i))
+    count_columns;
+  print_newline ()
+
+let print_counts_header () =
+  Printf.printf "%-34s" "";
+  List.iter (fun (label, _) -> Printf.printf " %11s" label) count_columns;
+  Printf.printf "\n%-34s" "(ours/paper)";
+  List.iter (fun _ -> Printf.printf " %11s" "") count_columns;
+  print_newline ()
+
+(* Table 5-2. *)
+let print_table_5_2 (results : Workloads.result list) =
+  print_header
+    "Table 5-2: Pre-Commit Primitive Counts (per transaction, ours/paper)";
+  print_counts_header ();
+  List.iteri
+    (fun i (r : Workloads.result) ->
+      print_counts_line r.name r.pre
+        (paper_counts_row (List.nth Paper_data.table_5_2 i)))
+    results
+
+(* Table 5-3. *)
+let print_table_5_3 (results : Workloads.result list) =
+  print_header "Table 5-3: Commit Primitive Counts (per transaction, ours/paper)";
+  print_counts_header ();
+  List.iteri
+    (fun row bench_index ->
+      let name, paper = List.nth Paper_data.table_5_3 row in
+      let r = List.nth results bench_index in
+      print_counts_line name r.commit (paper_counts_row paper))
+    Paper_data.table_5_3_benchmark
+
+(* Table 5-4. *)
+let improved_us (r : Workloads.result) =
+  r.elapsed_us -. r.elidable_us -. r.phase2_us
+
+let print_table_5_4 ~(measured : Workloads.result list)
+    ~(achievable : Workloads.result list) =
+  print_header "Table 5-4: Benchmark Times (milliseconds, ours/paper)";
+  Printf.printf "%-34s %13s %13s %13s %13s %13s\n" ""
+    "Predicted" "TABS Proc" "Elapsed" "ImprovedArch" "NewPrims";
+  List.iteri
+    (fun i (r : Workloads.result) ->
+      let a = List.nth achievable i in
+      let p = List.nth Paper_data.table_5_4 i in
+      Printf.printf "%-34s %5.0f/%-5.0f %7.0f/%-5.0f %5.0f/%-5.0f %7.0f/%-5.0f %5.0f/%-5.0f\n"
+        r.name (ms r.predicted_us) p.predicted
+        (ms r.process_us) p.process
+        (ms r.elapsed_us) p.elapsed
+        (ms (improved_us r)) p.improved
+        (ms (improved_us a)) p.new_prims)
+    measured
+
+(* Shape checks: the qualitative claims the reproduction must uphold. *)
+let print_shape_checks ~(measured : Workloads.result list) ~(achievable : Workloads.result list) =
+  print_header "Shape checks (reproduction criteria)";
+  let e i = (List.nth measured i : Workloads.result).elapsed_us in
+  let check name ok = Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") name in
+  check "write txns cost more than read txns (local)" (e 4 > e 0);
+  check "5 ops cost more than 1 op" (e 1 > e 0 && e 5 > e 4);
+  check "paging costs more than no paging" (e 2 > e 0 && e 6 > e 4);
+  check "random paging costs more than sequential" (e 3 > e 2);
+  check "remote costs more than local" (e 7 > e 0 && e 10 > e 4);
+  check "3 nodes cost more than 2 nodes" (e 12 > e 7 && e 13 > e 10);
+  check "distributed write commit is the most expensive class" (e 13 > e 12);
+  let improvement i =
+    let m = (List.nth measured i : Workloads.result) in
+    let a = List.nth achievable i in
+    m.elapsed_us /. improved_us a
+  in
+  let improvements = List.init 14 improvement in
+  let min_i = List.fold_left min infinity improvements in
+  let max_i = List.fold_left max 0. improvements in
+  (* Table 5-4's own ratios of Elapsed to New Primitive Times run from
+     1.4x (random paging, disk-bound) to 3.1x; the paper's "four to ten
+     times faster" headline additionally assumes a faster CPU and tuned
+     code, which the cost model deliberately excludes. *)
+  check
+    (Printf.sprintf
+       "projected software speedup spans the paper's 1.4x-3.1x band (ours: %.1fx-%.1fx)"
+       min_i max_i)
+    (min_i >= 1.2 && max_i <= 4.5);
+  (* Section 5.2 accounting: predicted + process ~ elapsed for local
+     benchmarks *)
+  let reconciled =
+    List.for_all
+      (fun i ->
+        let r = List.nth measured i in
+        let sum = r.predicted_us +. r.process_us in
+        abs_float (sum -. r.elapsed_us) /. r.elapsed_us < 0.25)
+      [ 0; 1; 4; 5 ]
+  in
+  check "predicted + process time reconciles with elapsed (local runs)" reconciled
+
+(* Section 5.2 prose accounting for the local read-only benchmark. *)
+let print_accounting (measured : Workloads.result list) =
+  print_header "Section 5.2 accounting (local benchmarks, ours vs paper)";
+  let ro = List.nth measured 0 and w = List.nth measured 4 in
+  Printf.printf
+    "  local RO: elapsed %.0f ms (paper 110); predicted-by-primitives %.0f (53);\n\
+    \            TABS process time %.0f (41)\n"
+    (ms ro.elapsed_us) (ms ro.predicted_us) (ms ro.process_us);
+  Printf.printf
+    "  read->write delta: %.0f ms (paper 137, of which 78 stable-storage write)\n"
+    (ms (w.elapsed_us -. ro.elapsed_us));
+  Printf.printf "  stable writes per write txn: %.2f (one commit force)\n"
+    w.commit.(8)
+
+let print_composite () =
+  print_header "Section 7 composite transactions (ours vs paper prose)";
+  let disk = Workloads.run_composite ~in_memory:false ~remote:false () in
+  let mem = Workloads.run_composite ~in_memory:true ~remote:false () in
+  let remote = Workloads.run_composite ~in_memory:false ~remote:true () in
+  Printf.printf
+    "  5 ops x 2 paged-in writes, local: %.2f s   (paper: ~2 s)\n"
+    (float_of_int disk /. 1_000_000.);
+  Printf.printf
+    "  same, data already in memory:     %.2f s   (paper: ~0.5 s)\n"
+    (float_of_int mem /. 1_000_000.);
+  Printf.printf
+    "  same, operations on a remote node: %.2f s  (paper: ~1 s longer)\n"
+    (float_of_int remote /. 1_000_000.)

@@ -1,0 +1,92 @@
+(* Throughput exploration — the direction Section 7 leaves open: "we
+   would like to develop a performance methodology for measuring and
+   predicting throughput".
+
+   The Section 5 methodology is strictly no-load latency; TABS itself
+   supports concurrent transactions (locking, coroutines), so this
+   harness drives N concurrent application fibers against one node and
+   reports transactions/second and the lock-conflict profile as N
+   grows, under two contention regimes:
+
+   - disjoint: each worker owns its cells (no lock conflicts); the
+     stable-storage write serializes commits, so throughput saturates
+     at roughly 1/force-time;
+   - contended: all workers update the same handful of cells; lock
+     waits and time-out aborts appear. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+type point = {
+  workers : int;
+  committed : int;
+  aborted : int;
+  txn_per_sec : float;
+  timeouts : int;
+}
+
+let run_point ~contended ~workers =
+  let cluster = Cluster.create ~nodes:1 () in
+  let node = Cluster.node cluster 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"t" ~segment:1 ~cells:1024 ()
+  in
+  let tm = Node.tm node in
+  let engine = Cluster.engine cluster in
+  let horizon = 20_000_000 (* 20 virtual seconds *) in
+  let committed = ref 0 and aborted = ref 0 in
+  for w = 0 to workers - 1 do
+    Cluster.spawn cluster ~node:0 (fun () ->
+        let rng = Rng.create ~seed:(w + 1) in
+        while Engine.now engine < horizon do
+          let cell =
+            if contended then Rng.int rng 4
+            else (w * 64) + Rng.int rng 16
+          in
+          match
+            Txn_lib.execute_transaction tm (fun tid ->
+                let v = Int_array_server.get arr tid cell in
+                Int_array_server.set arr tid cell (v + 1))
+          with
+          | () -> incr committed
+          | exception Errors.Lock_timeout _ -> incr aborted
+          | exception Errors.Transaction_is_aborted _ -> incr aborted
+        done)
+  done;
+  Cluster.run_until cluster ~time:(2 * horizon);
+  let timeouts =
+    Tabs_lock.Lock_manager.timeouts
+      (Server_lib.lock_manager (Int_array_server.server arr))
+  in
+  {
+    workers;
+    committed = !committed;
+    aborted = !aborted;
+    txn_per_sec =
+      float_of_int !committed /. (float_of_int horizon /. 1_000_000.);
+    timeouts;
+  }
+
+let print_regime ~contended =
+  Printf.printf "\n  %s cells:\n"
+    (if contended then "contended (all workers share 4)" else "disjoint");
+  Printf.printf "    %8s %10s %10s %12s %9s\n" "workers" "committed"
+    "aborted" "txn/sec" "timeouts";
+  List.iter
+    (fun workers ->
+      let p = run_point ~contended ~workers in
+      Printf.printf "    %8d %10d %10d %12.2f %9d\n" p.workers p.committed
+        p.aborted p.txn_per_sec p.timeouts)
+    [ 1; 2; 4; 8 ]
+
+let print_all () =
+  Printf.printf
+    "\nThroughput exploration (Section 7 future work; virtual time)\n";
+  Printf.printf "%s\n" (String.make 64 '-');
+  print_regime ~contended:false;
+  print_regime ~contended:true;
+  Printf.printf
+    "  (read-modify-write transactions on one node; each commit forces\n\
+    \   the log once, so disjoint throughput approaches the stable-write\n\
+    \   bound; contention adds lock waits and, eventually, time-outs)\n"

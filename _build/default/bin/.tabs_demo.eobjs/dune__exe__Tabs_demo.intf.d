@@ -1,0 +1,1 @@
+bin/tabs_demo.mli:

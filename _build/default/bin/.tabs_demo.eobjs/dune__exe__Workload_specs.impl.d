@@ -1,0 +1,1 @@
+bin/workload_specs.ml: Int_array_server Printf Rpc Tabs_core Tabs_servers Tabs_wal

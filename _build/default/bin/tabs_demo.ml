@@ -1,0 +1,288 @@
+(* tabs-demo: drive TABS scenarios from the command line.
+
+   Subcommands:
+     crash       single-node crash/recovery walkthrough
+     twophase    distributed commit across N nodes, with optional
+                 mid-commit coordinator crash (in-doubt resolution)
+     voting      replicated directory with a failing representative
+     screen      the I/O server's Figure 4-1 display behaviour
+     stats       run one benchmark and print its primitive profile *)
+
+open Cmdliner
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* crash ------------------------------------------------------------------ *)
+
+let run_crash () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Int_array_server.set arr tid 0 7);
+      say "committed cell0 = 7");
+  Cluster.spawn c ~node:0 (fun () ->
+      let t = Txn_lib.begin_transaction tm () in
+      Int_array_server.set arr t 0 666;
+      Tabs_wal.Log_manager.force_all (Node.log node);
+      Tabs_accent.Vm.flush_all (Node.vm node);
+      say "uncommitted cell0 = 666 leaked to disk; crashing now...";
+      Engine.delay 10_000_000);
+  Cluster.run_until c ~time:5_000_000;
+  Node.crash node;
+  let holder = ref None in
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node ~reinstall:(fun env ->
+            holder := Some (Int_array_server.create env ~name:"a" ~segment:1 ~cells:64 ())) ())
+  in
+  say "recovery: scanned %d records, %d loser(s) rolled back"
+    outcome.records_scanned
+    (List.length outcome.losers);
+  let arr = Option.get !holder in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      let v =
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Int_array_server.get arr tid 0)
+      in
+      say "cell0 after recovery = %d (the uncommitted 666 is gone)" v);
+  0
+
+(* twophase ---------------------------------------------------------------- *)
+
+let run_twophase nodes kill_coordinator =
+  let nodes = max 2 (min 5 nodes) in
+  let c = Cluster.create ~nodes () in
+  List.iter
+    (fun node ->
+      ignore
+        (Int_array_server.create (Node.env node)
+           ~name:(Printf.sprintf "a%d" (Node.id node))
+           ~segment:1 ~cells:64 ()))
+    (Cluster.nodes c);
+  let n0 = Cluster.node c 0 in
+  let tm = Node.tm n0 in
+  let rpc = Node.rpc n0 in
+  let the_tid = ref None in
+  Cluster.spawn c ~node:0 (fun () ->
+      let tid = Txn_lib.begin_transaction tm () in
+      the_tid := Some tid;
+      for dest = 0 to nodes - 1 do
+        Int_array_server.call_set rpc ~dest
+          ~server:(Printf.sprintf "a%d" dest)
+          tid 0 (100 + dest)
+      done;
+      say "wrote one cell on each of %d nodes under %s" nodes
+        (Tabs_wal.Tid.to_string tid);
+      let ok = Txn_lib.end_transaction tm tid in
+      say "coordinator's verdict: %s" (if ok then "committed" else "aborted"));
+  if kill_coordinator then
+    ignore
+      (Engine.spawn (Cluster.engine c) (fun () ->
+           let rec watch () =
+             Engine.delay 1_000;
+             let decided =
+               match !the_tid with
+               | Some tid -> Tabs_tm.Txn_mgr.outcome_of tm tid <> None
+               | None -> false
+             in
+             if decided then begin
+               say "! crashing coordinator right after its commit record";
+               Node.crash n0
+             end
+             else watch ()
+           in
+           watch ()));
+  Cluster.run_until c ~time:5_000_000;
+  List.iter
+    (fun node ->
+      let id = Node.id node in
+      if id > 0 then begin
+        let in_doubt = Tabs_tm.Txn_mgr.in_doubt (Node.tm node) in
+        say "node %d: %d transaction(s) in doubt" id (List.length in_doubt)
+      end)
+    (Cluster.nodes c);
+  if kill_coordinator then begin
+    say "restarting coordinator; subordinates query its recovered log...";
+    ignore
+      (Cluster.run_fiber c ~node:0 (fun () ->
+           Node.restart n0 ~reinstall:(fun env ->
+               ignore
+                 (Int_array_server.create env ~name:"a0" ~segment:1 ~cells:64 ())) ()));
+    Cluster.run_until c ~time:(Engine.now (Cluster.engine c) + 60_000_000)
+  end;
+  List.iter
+    (fun node ->
+      let id = Node.id node in
+      let v =
+        Cluster.run_fiber c ~node:id (fun () ->
+            Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+                Int_array_server.call_get (Node.rpc node) ~dest:id
+                  ~server:(Printf.sprintf "a%d" id)
+                  tid 0))
+      in
+      say "node %d cell0 = %d" id v)
+    (Cluster.nodes c);
+  0
+
+(* voting -------------------------------------------------------------------- *)
+
+let run_voting () =
+  let c = Cluster.create ~nodes:3 () in
+  List.iter
+    (fun node ->
+      ignore
+        (Btree_server.create (Node.env node)
+           ~name:(Printf.sprintf "rep%d" (Node.id node))
+           ~segment:5 ()))
+    (Cluster.nodes c);
+  let n0 = Cluster.node c 0 in
+  let dir =
+    Replicated_directory.create ~rpc:(Node.rpc n0)
+      ~replicas:
+        [
+          { Replicated_directory.node = 0; server = "rep0"; votes = 1 };
+          { Replicated_directory.node = 1; server = "rep1"; votes = 1 };
+          { Replicated_directory.node = 2; server = "rep2"; votes = 1 };
+        ]
+      ~read_quorum:2 ~write_quorum:2
+  in
+  let tm = Node.tm n0 in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"leader" ~value:"node-0");
+      say "wrote leader=node-0 to a 2-of-3 write quorum");
+  Node.crash (Cluster.node c 1);
+  say "node 1 crashed";
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"leader" ~value:"node-2");
+      let v =
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.lookup dir tid ~key:"leader")
+      in
+      say "with node 1 down: leader=%s (version %d)"
+        (Option.value v ~default:"<none>")
+        (Txn_lib.execute_transaction tm (fun tid ->
+             Replicated_directory.entry_version dir tid ~key:"leader")));
+  0
+
+(* screen -------------------------------------------------------------------- *)
+
+let run_screen () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
+  let tm = Node.tm node in
+  Cluster.spawn c ~node:0 (fun () ->
+      let a = Io_server.obtain_io_area io in
+      Txn_lib.execute_transaction tm (fun tid ->
+          Io_server.writeln_to_area io tid a "first line (will commit)");
+      (let t = Txn_lib.begin_transaction tm () in
+       Io_server.writeln_to_area io t a "second line (will abort)";
+       Txn_lib.abort_transaction tm t);
+      Txn_lib.execute_transaction tm (fun tid ->
+          Io_server.writeln_to_area io tid a "third line (will commit)";
+          say "%s" (Io_server.render_text io);
+          Engine.delay 10_000));
+  Cluster.run c;
+  say "--- final screen ---";
+  Cluster.run_fiber c ~node:0 (fun () -> say "%s" (Io_server.render_text io));
+  0
+
+(* stats --------------------------------------------------------------------- *)
+
+let run_stats index =
+  let specs = Workload_specs.specs in
+  if index < 0 || index >= List.length specs then begin
+    say "benchmark index out of range (0..%d):" (List.length specs - 1);
+    List.iteri (fun i (name, _, _) -> say "  %2d  %s" i name) specs;
+    1
+  end
+  else begin
+    let name, nodes, body = List.nth specs index in
+    say "running benchmark: %s (%d node(s))" name nodes;
+    let c = Cluster.create ~nodes () in
+    List.iter
+      (fun node ->
+        ignore
+          (Int_array_server.create (Node.env node)
+             ~name:(Printf.sprintf "a%d" (Node.id node))
+             ~segment:1 ~cells:1024 ()))
+      (Cluster.nodes c);
+    let n0 = Cluster.node c 0 in
+    let tm = Node.tm n0 in
+    let engine = Cluster.engine c in
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let t0 = Engine.now engine in
+        let before = Metrics.snapshot (Engine.metrics engine) in
+        for _ = 1 to 10 do
+          Txn_lib.execute_transaction tm (fun tid -> body (Node.rpc n0) tid)
+        done;
+        let elapsed = Engine.now engine - t0 in
+        let counts =
+          Metrics.diff
+            ~later:(Metrics.snapshot (Engine.metrics engine))
+            ~earlier:before
+        in
+        say "10 transactions in %.1f virtual ms (%.1f ms each)"
+          (float_of_int elapsed /. 1000.)
+          (float_of_int elapsed /. 10_000.);
+        say "primitive profile per transaction:";
+        List.iter
+          (fun p ->
+            let w = Metrics.weight counts p /. 10. in
+            if w > 0.001 then say "  %-30s %6.2f" (Cost_model.name p) w)
+          Cost_model.all);
+    0
+  end
+
+(* cmdliner wiring ------------------------------------------------------------- *)
+
+let crash_cmd =
+  Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
+    Term.(const run_crash $ const ())
+
+let twophase_cmd =
+  let nodes =
+    Arg.(value & opt int 3 & info [ "n"; "nodes" ] ~doc:"Number of nodes (2-5).")
+  in
+  let kill =
+    Arg.(
+      value & flag
+      & info [ "kill-coordinator" ]
+          ~doc:"Crash the coordinator between its commit record and the \
+                commit datagrams, demonstrating in-doubt blocking and \
+                resolution.")
+  in
+  Cmd.v
+    (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
+    Term.(const run_twophase $ nodes $ kill)
+
+let voting_cmd =
+  Cmd.v
+    (Cmd.info "voting" ~doc:"Replicated directory with weighted voting")
+    Term.(const run_voting $ const ())
+
+let screen_cmd =
+  Cmd.v
+    (Cmd.info "screen" ~doc:"Transactional display output (I/O server)")
+    Term.(const run_screen $ const ())
+
+let stats_cmd =
+  let index =
+    Arg.(value & pos 0 int 0 & info [] ~docv:"BENCH" ~doc:"Benchmark index.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Primitive-operation profile of one benchmark")
+    Term.(const run_stats $ index)
+
+let () =
+  let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in
+  let info = Cmd.info "tabs-demo" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ crash_cmd; twophase_cmd; voting_cmd; screen_cmd; stats_cmd ]))

@@ -1,0 +1,46 @@
+(* Small benchmark bodies for the `stats` subcommand: a cut-down version
+   of bench/workloads.ml (the full harness lives there). Each entry is
+   (name, nodes, body). *)
+
+open Tabs_core
+open Tabs_servers
+
+let rd rpc tid ~dest cell =
+  ignore
+    (Int_array_server.call_get rpc ~dest
+       ~server:(Printf.sprintf "a%d" dest)
+       tid cell)
+
+let wr rpc tid ~dest cell v =
+  Int_array_server.call_set rpc ~dest
+    ~server:(Printf.sprintf "a%d" dest)
+    tid cell v
+
+let specs :
+    (string * int * (Rpc.registry -> Tabs_wal.Tid.t -> unit)) list =
+  [
+    ("1 local read", 1, fun rpc tid -> rd rpc tid ~dest:0 0);
+    ( "5 local reads",
+      1,
+      fun rpc tid ->
+        for _ = 1 to 5 do
+          rd rpc tid ~dest:0 0
+        done );
+    ("1 local write", 1, fun rpc tid -> wr rpc tid ~dest:0 0 1);
+    ( "1 local + 1 remote read",
+      2,
+      fun rpc tid ->
+        rd rpc tid ~dest:0 0;
+        rd rpc tid ~dest:1 0 );
+    ( "1 local + 1 remote write",
+      2,
+      fun rpc tid ->
+        wr rpc tid ~dest:0 0 1;
+        wr rpc tid ~dest:1 0 1 );
+    ( "3-node write",
+      3,
+      fun rpc tid ->
+        wr rpc tid ~dest:0 0 1;
+        wr rpc tid ~dest:1 0 1;
+        wr rpc tid ~dest:2 0 1 );
+  ]

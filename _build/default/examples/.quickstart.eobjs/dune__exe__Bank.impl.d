@@ -1,0 +1,1 @@
+examples/bank.ml: Account_server Cluster Engine Io_server Node Option Printf Tabs_core Tabs_servers Tabs_sim Tabs_wal Txn_lib

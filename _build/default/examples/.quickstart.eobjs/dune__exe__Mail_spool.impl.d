@@ -1,0 +1,1 @@
+examples/mail_spool.ml: Cluster Directory_server Engine Errors Int_array_server Node Option Printf Tabs_core Tabs_servers Tabs_sim Txn_lib Weak_queue_server

@@ -1,0 +1,1 @@
+examples/queue_pipeline.ml: Cluster Engine Errors Hashtbl Node Option Printf Rng Tabs_core Tabs_servers Tabs_sim Txn_lib Weak_queue_server

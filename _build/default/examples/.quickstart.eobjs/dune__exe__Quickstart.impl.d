@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Int_array_server List Node Option Printf Tabs_core Tabs_servers Txn_lib

@@ -1,0 +1,1 @@
+examples/replicated_directory.ml: Btree_server Cluster List Node Option Printf Replicated_directory Tabs_core Tabs_servers Txn_lib

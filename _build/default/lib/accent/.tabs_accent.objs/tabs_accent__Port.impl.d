@@ -1,0 +1,1 @@
+lib/accent/port.ml: Cost_model Engine Queue Tabs_sim

@@ -1,0 +1,1 @@
+lib/accent/port.mli: Tabs_sim

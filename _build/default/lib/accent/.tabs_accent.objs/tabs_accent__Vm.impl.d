@@ -1,0 +1,1 @@
+lib/accent/vm.ml: Buffer Disk Engine Hashtbl List Object_id Option Page String Tabs_sim Tabs_storage Tabs_wal

@@ -1,0 +1,1 @@
+lib/accent/vm.mli: Tabs_sim Tabs_storage Tabs_wal

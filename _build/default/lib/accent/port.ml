@@ -1,0 +1,38 @@
+open Tabs_sim
+
+type kind = Small | Large | Pointer
+
+type 'a t = {
+  engine : Engine.t;
+  queue : 'a Queue.t;
+  readers : 'a Engine.Waitq.t;
+}
+
+let create engine =
+  { engine; queue = Queue.create (); readers = Engine.Waitq.create () }
+
+let primitive = function
+  | Small -> Cost_model.Small_contiguous_message
+  | Large -> Cost_model.Large_contiguous_message
+  | Pointer -> Cost_model.Pointer_message
+
+let deliver t msg =
+  if not (Engine.Waitq.signal t.readers ~engine:t.engine msg) then
+    Queue.add msg t.queue
+
+let send t ~kind msg =
+  Engine.charge t.engine (primitive kind);
+  deliver t msg
+
+let send_free t msg = deliver t msg
+
+let receive t =
+  if Queue.is_empty t.queue then Engine.Waitq.wait t.readers
+  else Queue.take t.queue
+
+let receive_timeout t ~timeout =
+  if Queue.is_empty t.queue then
+    Engine.Waitq.wait_timeout t.readers ~engine:t.engine ~timeout
+  else Some (Queue.take t.queue)
+
+let pending t = Queue.length t.queue

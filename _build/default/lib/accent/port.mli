@@ -1,0 +1,32 @@
+(** Accent-style message ports.
+
+    A port is a protected message queue: many senders, one receiver
+    (Section 2.1.1). Messages are typed; sending charges the cost of the
+    appropriate Accent message class to the sending fiber. *)
+
+(** Accent message classes with distinct costs (Section 5.1). *)
+type kind =
+  | Small  (** < 500 bytes, typically < 100 *)
+  | Large  (** ~1100 bytes *)
+  | Pointer  (** copy-on-write remapped bulk data *)
+
+type 'a t
+
+val create : Tabs_sim.Engine.t -> 'a t
+
+(** [send t ~kind msg] charges one message primitive and enqueues;
+    must run inside a fiber. *)
+val send : 'a t -> kind:kind -> 'a -> unit
+
+(** [send_free t msg] enqueues without cost — for deliveries whose cost
+    was already charged elsewhere (e.g. by the network layer). *)
+val send_free : 'a t -> 'a -> unit
+
+(** [receive t] suspends the calling fiber until a message arrives. *)
+val receive : 'a t -> 'a
+
+(** [receive_timeout t ~timeout] waits at most [timeout] microseconds. *)
+val receive_timeout : 'a t -> timeout:int -> 'a option
+
+(** [pending t] is the queue length. *)
+val pending : 'a t -> int

@@ -1,0 +1,212 @@
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+
+type wal_hooks = {
+  on_first_dirty : Disk.page_id -> unit;
+  before_page_out : Disk.page_id -> unit;
+  after_page_out : Disk.page_id -> unit;
+}
+
+type frame = {
+  pid : Disk.page_id;
+  mutable data : Page.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable rec_lsn : int option;
+  mutable last_lsn : int;
+  mutable touched : int; (* LRU stamp *)
+}
+
+type t = {
+  engine : Engine.t;
+  disk : Disk.t;
+  frames : int;
+  table : (Disk.page_id, frame) Hashtbl.t;
+  mutable hooks : wal_hooks option;
+  mutable tick : int;
+  mutable fault_count : int;
+}
+
+let attach engine disk ~frames =
+  if frames < 1 then invalid_arg "Vm.attach: frames < 1";
+  {
+    engine;
+    disk;
+    frames;
+    table = Hashtbl.create (2 * frames);
+    hooks = None;
+    tick = 0;
+    fault_count = 0;
+  }
+
+let set_wal_hooks t hooks = t.hooks <- Some hooks
+
+let disk t = t.disk
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.touched <- t.tick
+
+let page_out t frame =
+  (match t.hooks with
+  | Some h -> h.before_page_out frame.pid
+  | None -> ());
+  Disk.write t.disk frame.pid frame.data ~seqno:frame.last_lsn;
+  frame.dirty <- false;
+  frame.rec_lsn <- None;
+  match t.hooks with Some h -> h.after_page_out frame.pid | None -> ()
+
+let evict_victim t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame best ->
+        if frame.pins > 0 then best
+        else
+          match best with
+          | None -> Some frame
+          | Some b -> if frame.touched < b.touched then Some frame else best)
+      t.table None
+  in
+  match victim with
+  | None -> failwith "Vm: all frames pinned, cannot evict"
+  | Some frame ->
+      if frame.dirty then page_out t frame;
+      Hashtbl.remove t.table frame.pid
+
+let fault t pid ~access =
+  match Hashtbl.find_opt t.table pid with
+  | Some frame ->
+      touch t frame;
+      frame
+  | None -> (
+      if Hashtbl.length t.table >= t.frames then evict_victim t;
+      t.fault_count <- t.fault_count + 1;
+      let data = Disk.read t.disk pid ~access in
+      (* the disk read suspends this fiber: another coroutine may have
+         faulted the same page meanwhile — never table it twice *)
+      match Hashtbl.find_opt t.table pid with
+      | Some frame ->
+          touch t frame;
+          frame
+      | None ->
+          let frame =
+            {
+              pid;
+              data;
+              dirty = false;
+              pins = 0;
+              rec_lsn = None;
+              last_lsn = Disk.seqno t.disk pid;
+              touched = 0;
+            }
+          in
+          touch t frame;
+          Hashtbl.add t.table pid frame;
+          frame)
+
+let object_pages obj = Object_id.pages obj
+
+let read t obj ~access =
+  let buffer = Buffer.create obj.Object_id.length in
+  List.iter
+    (fun (pid : Disk.page_id) ->
+      let frame = fault t pid ~access in
+      let page_base = pid.page * Page.size in
+      let first = max obj.offset page_base in
+      let last = min (obj.offset + obj.length) (page_base + Page.size) in
+      Buffer.add_string buffer
+        (Page.sub frame.data ~off:(first - page_base) ~len:(last - first)))
+    (object_pages obj);
+  Buffer.contents buffer
+
+let mark_dirty t frame =
+  if not frame.dirty then begin
+    frame.dirty <- true;
+    match t.hooks with
+    | Some h -> h.on_first_dirty frame.pid
+    | None -> ()
+  end
+
+let write t obj value =
+  if String.length value <> obj.Object_id.length then
+    invalid_arg "Vm.write: value length differs from object length";
+  List.iter
+    (fun (pid : Disk.page_id) ->
+      let frame =
+        match Hashtbl.find_opt t.table pid with
+        | Some f when f.pins > 0 -> f
+        | Some _ -> invalid_arg "Vm.write: page not pinned"
+        | None -> invalid_arg "Vm.write: page not resident"
+      in
+      let page_base = pid.page * Page.size in
+      let first = max obj.offset page_base in
+      let last = min (obj.offset + obj.length) (page_base + Page.size) in
+      mark_dirty t frame;
+      touch t frame;
+      Page.blit_string
+        (String.sub value (first - obj.offset) (last - first))
+        frame.data ~off:(first - page_base))
+    (object_pages obj)
+
+let pin t obj ~access =
+  List.iter
+    (fun pid ->
+      let frame = fault t pid ~access in
+      frame.pins <- frame.pins + 1)
+    (object_pages obj)
+
+let unpin t obj =
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt t.table pid with
+      | Some frame when frame.pins > 0 -> frame.pins <- frame.pins - 1
+      | Some _ | None -> invalid_arg "Vm.unpin: page not pinned")
+    (object_pages obj)
+
+let unpin_all t = Hashtbl.iter (fun _ frame -> frame.pins <- 0) t.table
+
+let note_update t obj ~lsn =
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt t.table pid with
+      | None -> invalid_arg "Vm.note_update: page not resident"
+      | Some frame ->
+          if frame.rec_lsn = None then frame.rec_lsn <- Some lsn;
+          frame.last_lsn <- max frame.last_lsn lsn)
+    (object_pages obj)
+
+let note_pages t pages ~lsn =
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt t.table pid with
+      | None -> ()
+      | Some frame ->
+          if frame.rec_lsn = None then frame.rec_lsn <- Some lsn;
+          frame.last_lsn <- max frame.last_lsn lsn)
+    pages
+
+let dirty_pages t =
+  Hashtbl.fold
+    (fun pid frame acc ->
+      if frame.dirty then
+        (pid, Option.value frame.rec_lsn ~default:frame.last_lsn) :: acc
+      else acc)
+    t.table []
+  |> List.sort compare
+
+let flush_page t pid =
+  match Hashtbl.find_opt t.table pid with
+  | Some frame when frame.dirty && frame.pins = 0 -> page_out t frame
+  | Some _ | None -> ()
+
+let flush_all t =
+  let dirty = List.map fst (dirty_pages t) in
+  List.iter (flush_page t) dirty
+
+let resident t = Hashtbl.length t.table
+
+let pinned t =
+  Hashtbl.fold (fun _ f acc -> if f.pins > 0 then acc + 1 else acc) t.table 0
+
+let faults t = t.fault_count

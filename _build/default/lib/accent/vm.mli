@@ -1,0 +1,87 @@
+(** Virtual memory management for recoverable objects.
+
+    Recoverable segments are disk files mapped into virtual memory
+    (Section 3.2.1); the kernel pages them on demand and cooperates with
+    the Recovery Manager through a three-message protocol before copying
+    a modified page back to its segment:
+
+    + the first modification of a clean page is announced;
+    + the page is not written until the Recovery Manager confirms that
+      every log record applying to it is on non-volatile storage;
+    + completion is announced, together with the atomically written
+      39-bit sector sequence number needed by operation logging.
+
+    Here the protocol is a set of hooks the Recovery Manager registers.
+    The page pool is volatile: discard the [t] and re-attach after a
+    crash. *)
+
+type t
+
+(** The Recovery Manager's side of the paging protocol. *)
+type wal_hooks = {
+  on_first_dirty : Tabs_storage.Disk.page_id -> unit;
+  before_page_out : Tabs_storage.Disk.page_id -> unit;
+      (** must force the log far enough for this page before returning;
+          runs in the faulting fiber *)
+  after_page_out : Tabs_storage.Disk.page_id -> unit;
+}
+
+(** [attach engine disk ~frames] maps the node's disk with a pool of
+    [frames] page frames (the Perq's limited physical memory — the
+    5000-page benchmark array is more than three times this). *)
+val attach : Tabs_sim.Engine.t -> Tabs_storage.Disk.t -> frames:int -> t
+
+val set_wal_hooks : t -> wal_hooks -> unit
+
+val disk : t -> Tabs_storage.Disk.t
+
+(** [read t obj ~access] reads the object's bytes, demand-paging with
+    [access]-pattern cost. Must run inside a fiber. *)
+val read : t -> Tabs_wal.Object_id.t -> access:[ `Random | `Sequential ] -> string
+
+(** [write t obj value] overwrites the object's byte range in memory.
+    Every touched page must be pinned — the server library pins around
+    modifications precisely so that no page-out can slip between an
+    update and its log record. Raises [Invalid_argument] if the length
+    differs from the object's or a page is unpinned. *)
+val write : t -> Tabs_wal.Object_id.t -> string -> unit
+
+(** [pin t obj ~access] faults the object in and pins its pages. *)
+val pin : t -> Tabs_wal.Object_id.t -> access:[ `Random | `Sequential ] -> unit
+
+val unpin : t -> Tabs_wal.Object_id.t -> unit
+
+(** [unpin_all t] releases every pin (server library [UnPinAllObjects]). *)
+val unpin_all : t -> unit
+
+(** [note_update t obj ~lsn] records that log record [lsn] covers the
+    object's pages: maintains each frame's recovery LSN (earliest update
+    not on disk) and the sequence number to stamp at page-out. *)
+val note_update : t -> Tabs_wal.Object_id.t -> lsn:int -> unit
+
+(** [note_pages t pages ~lsn] is {!note_update} for an explicit page
+    list (operation-logging records carry pages, not byte ranges);
+    non-resident pages are ignored. *)
+val note_pages : t -> Tabs_storage.Disk.page_id list -> lsn:int -> unit
+
+(** [dirty_pages t] lists dirty frames with their recovery LSNs — the
+    checkpoint record's page list. *)
+val dirty_pages : t -> (Tabs_storage.Disk.page_id * int) list
+
+(** [flush_page t pid] runs the page-out protocol for one dirty page
+    (used by log reclamation, which "may force pages back to disk before
+    they would otherwise be written"). No-op on clean or absent pages. *)
+val flush_page : t -> Tabs_storage.Disk.page_id -> unit
+
+(** [flush_all t] pages out every dirty frame. *)
+val flush_all : t -> unit
+
+(** [resident t] is the number of frames in use; [pinned t] the number
+    currently pinned (checkpoints require data servers not to wait while
+    objects are pinned, so this should be 0 at checkpoint time). *)
+val resident : t -> int
+
+val pinned : t -> int
+
+(** Count of demand-paging faults served, for tests and benchmarks. *)
+val faults : t -> int

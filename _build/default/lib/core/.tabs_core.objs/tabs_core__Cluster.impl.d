@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Engine List Network Node Tabs_net Tabs_sim

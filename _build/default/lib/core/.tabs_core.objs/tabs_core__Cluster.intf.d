@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Node Tabs_net Tabs_sim

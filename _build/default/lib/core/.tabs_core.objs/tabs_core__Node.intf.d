@@ -1,0 +1,1 @@
+lib/core/node.mli: Rpc Server_lib Tabs_accent Tabs_name Tabs_net Tabs_recovery Tabs_sim Tabs_storage Tabs_tm Tabs_wal

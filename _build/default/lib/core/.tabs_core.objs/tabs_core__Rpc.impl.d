@@ -1,0 +1,1 @@
+lib/core/rpc.ml: Comm_mgr Cost_model Engine Errors Hashtbl Network Object_id Printf Tabs_net Tabs_sim Tabs_wal Tid

@@ -1,0 +1,1 @@
+lib/core/rpc.mli: Tabs_net Tabs_sim Tabs_wal

@@ -1,0 +1,1 @@
+lib/core/server_lib.mli: Rpc Tabs_accent Tabs_lock Tabs_name Tabs_recovery Tabs_sim Tabs_tm Tabs_wal

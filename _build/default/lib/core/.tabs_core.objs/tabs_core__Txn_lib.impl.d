@@ -1,0 +1,1 @@
+lib/core/txn_lib.ml: Errors Tabs_tm Txn_mgr

@@ -1,0 +1,1 @@
+lib/core/txn_lib.mli: Tabs_tm Tabs_wal

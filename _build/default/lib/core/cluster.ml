@@ -1,0 +1,37 @@
+open Tabs_sim
+open Tabs_net
+
+type t = { engine : Engine.t; net : Network.t; node_list : Node.t list }
+
+let create ?cost_model ?(seed = 1) ?frames ?log_space_limit
+    ?read_only_optimization ~nodes () =
+  let engine = Engine.create ?cost_model () in
+  let net = Network.create engine ~seed in
+  let node_list =
+    List.init nodes (fun id ->
+        Node.create engine net ~id ?frames ?log_space_limit
+          ?read_only_optimization ())
+  in
+  { engine; net; node_list }
+
+let engine t = t.engine
+
+let network t = t.net
+
+let node t id = List.nth t.node_list id
+
+let nodes t = t.node_list
+
+let run t = ignore (Engine.run t.engine)
+
+let run_until t ~time = Engine.run_until t.engine ~time
+
+let spawn t ~node f = ignore (Engine.spawn t.engine ~node f)
+
+let run_fiber t ~node f =
+  let result = ref None in
+  ignore (Engine.spawn t.engine ~node (fun () -> result := Some (f ())));
+  ignore (Engine.run t.engine);
+  match !result with
+  | Some v -> v
+  | None -> failwith "Cluster.run_fiber: fiber did not complete"

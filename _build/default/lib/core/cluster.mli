@@ -1,0 +1,41 @@
+(** A network of TABS nodes under one simulation engine — the
+    "collection of networked Perq workstations" the prototype ran on. *)
+
+type t
+
+(** [create ~nodes ()] builds [nodes] nodes (ids 0..nodes-1) on a
+    lossless network. *)
+val create :
+  ?cost_model:Tabs_sim.Cost_model.t ->
+  ?seed:int ->
+  ?frames:int ->
+  ?log_space_limit:int ->
+  ?read_only_optimization:bool ->
+  nodes:int ->
+  unit ->
+  t
+
+val engine : t -> Tabs_sim.Engine.t
+
+val network : t -> Tabs_net.Network.t
+
+val node : t -> int -> Node.t
+
+val nodes : t -> Node.t list
+
+(** [run t] processes simulation events until quiescent. *)
+val run : t -> unit
+
+(** [run_until t ~time] bounds the run — needed when blocking behaviour
+    (e.g. an in-doubt participant) would otherwise keep polling. *)
+val run_until : t -> time:int -> unit
+
+(** [run_fiber t ~node f] spawns [f] as an application fiber on [node],
+    drives the simulation to quiescence, and returns [f]'s result.
+    Raises [Failure] if the fiber was killed (node crash) or never
+    finished. *)
+val run_fiber : t -> node:int -> (unit -> 'a) -> 'a
+
+(** [spawn t ~node f] spawns without running the engine (for composing
+    concurrent scenarios before a single {!run}). *)
+val spawn : t -> node:int -> (unit -> unit) -> unit

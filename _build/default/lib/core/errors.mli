@@ -1,0 +1,14 @@
+(** Exceptions of the TABS programming interface. *)
+
+(** Raised in the application process when the transaction it is
+    running under has been aborted by some other process (Table 3-2's
+    [TransactionIsAborted] exception). *)
+exception Transaction_is_aborted of Tabs_wal.Tid.t
+
+(** Raised by server operations on bad arguments; carried across remote
+    procedure calls. *)
+exception Server_error of string
+
+(** Raised when a lock request times out — the deadlock-resolution
+    signal; the usual reaction is to abort the transaction. *)
+exception Lock_timeout of Tabs_wal.Object_id.t

@@ -1,0 +1,113 @@
+open Tabs_sim
+open Tabs_storage
+open Tabs_accent
+open Tabs_wal
+open Tabs_net
+open Tabs_recovery
+open Tabs_tm
+open Tabs_name
+
+type incarnation = {
+  vm : Vm.t;
+  log : Log_manager.t;
+  rm : Recovery_mgr.t;
+  cm : Comm_mgr.t;
+  tm : Txn_mgr.t;
+  ns : Name_server.t;
+  rpc : Rpc.registry;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  node_id : int;
+  frames : int;
+  log_space_limit : int;
+  read_only_optimization : bool;
+  disk : Disk.t;
+  stable : Stable.t;
+  mutable live : incarnation;
+  mutable up : bool;
+}
+
+let build_incarnation engine net disk stable ~id ~frames ~log_space_limit
+    ~read_only_optimization =
+  let vm = Vm.attach engine disk ~frames in
+  let log = Log_manager.attach engine stable in
+  let rm = Recovery_mgr.create engine ~node:id ~log ~vm ~log_space_limit () in
+  let cm = Comm_mgr.create net ~node:id () in
+  let tm =
+    Txn_mgr.create engine ~node:id ~rm ~cm ~read_only_optimization ()
+  in
+  let ns = Name_server.create engine ~node:id ~cm in
+  let rpc = Rpc.create_registry engine ~node:id ~cm in
+  { vm; log; rm; cm; tm; ns; rpc }
+
+let create engine net ~id ?(frames = 1500) ?(log_space_limit = 256 * 1024)
+    ?(read_only_optimization = true) () =
+  let disk = Disk.create engine in
+  let stable = Stable.create () in
+  let live =
+    build_incarnation engine net disk stable ~id ~frames ~log_space_limit
+      ~read_only_optimization
+  in
+  { engine; net; node_id = id; frames; log_space_limit;
+    read_only_optimization; disk; stable; live; up = true }
+
+let id t = t.node_id
+
+let engine t = t.engine
+
+let tm t = t.live.tm
+
+let rm t = t.live.rm
+
+let cm t = t.live.cm
+
+let ns t = t.live.ns
+
+let vm t = t.live.vm
+
+let rpc t = t.live.rpc
+
+let log t = t.live.log
+
+let disk t = t.disk
+
+let is_up t = t.up
+
+let env t =
+  {
+    Server_lib.engine = t.engine;
+    node = t.node_id;
+    vm = t.live.vm;
+    rm = t.live.rm;
+    tm = t.live.tm;
+    rpc = t.live.rpc;
+    ns = t.live.ns;
+  }
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    Comm_mgr.shutdown t.live.cm;
+    Network.set_node_up t.net ~node:t.node_id false;
+    Engine.crash_node t.engine t.node_id
+  end
+
+let restart t ~reinstall ?(after_recovery = fun _ -> ()) () =
+  if t.up then invalid_arg "Node.restart: node is up";
+  Network.set_node_up t.net ~node:t.node_id true;
+  t.live <-
+    build_incarnation t.engine t.net t.disk t.stable ~id:t.node_id
+      ~frames:t.frames ~log_space_limit:t.log_space_limit
+      ~read_only_optimization:t.read_only_optimization;
+  t.up <- true;
+  reinstall (env t);
+  let outcome = Recovery_mgr.recover t.live.rm in
+  (* in-doubt data must be re-locked before resolution can race it *)
+  after_recovery outcome;
+  Txn_mgr.recover t.live.tm outcome;
+  outcome
+
+let checkpoint t = ignore (Recovery_mgr.checkpoint t.live.rm)

@@ -1,0 +1,72 @@
+(** One TABS node: the Accent kernel plus the four TABS system processes
+    of Figure 3-1 (Name Server, Communication Manager, Recovery Manager,
+    Transaction Manager), assembled over the node's disk and stable
+    log.
+
+    The disk and stable log survive crashes; everything else is
+    volatile. {!crash} kills the node's fibers and silences it on the
+    network; {!restart} rebuilds the volatile half, re-installs data
+    servers, and runs crash recovery. *)
+
+type t
+
+val create :
+  Tabs_sim.Engine.t ->
+  Tabs_net.Network.t ->
+  id:int ->
+  ?frames:int ->
+  ?log_space_limit:int ->
+  ?read_only_optimization:bool ->
+  unit ->
+  t
+
+val id : t -> int
+
+val engine : t -> Tabs_sim.Engine.t
+
+(** [env t] bundles the current incarnation's handles for building data
+    servers and applications. Invalidated by {!crash}. *)
+val env : t -> Server_lib.env
+
+val tm : t -> Tabs_tm.Txn_mgr.t
+
+val rm : t -> Tabs_recovery.Recovery_mgr.t
+
+val cm : t -> Tabs_net.Comm_mgr.t
+
+val ns : t -> Tabs_name.Name_server.t
+
+val vm : t -> Tabs_accent.Vm.t
+
+val rpc : t -> Rpc.registry
+
+val log : t -> Tabs_wal.Log_manager.t
+
+val disk : t -> Tabs_storage.Disk.t
+
+val is_up : t -> bool
+
+(** [crash t] — volatile state (page frames, log buffer, lock tables,
+    transaction state, sessions) is lost; the disk and the stable log
+    survive. Fibers bound to the node die at their next step. *)
+val crash : t -> unit
+
+(** [restart t ~reinstall ?after_recovery ()] rebuilds the node: fresh
+    kernel and TABS processes over the surviving disk and stable log,
+    then [reinstall] re-creates the node's data servers (registering
+    their operation handlers) against the new {!env}, then crash
+    recovery runs, then [after_recovery] fires with the summary —
+    the place to re-take locks on in-doubt transactions' objects
+    ({!Server_lib.relock_in_doubt}) {e before} in-doubt resolution
+    starts — and finally the Transaction Manager begins resolving.
+    Returns the Recovery Manager's summary. Must run inside a fiber
+    (recovery performs I/O). *)
+val restart :
+  t ->
+  reinstall:(Server_lib.env -> unit) ->
+  ?after_recovery:(Tabs_recovery.Recovery_mgr.recovery_outcome -> unit) ->
+  unit ->
+  Tabs_recovery.Recovery_mgr.recovery_outcome
+
+(** [checkpoint t] asks the Recovery Manager for a system checkpoint. *)
+val checkpoint : t -> unit

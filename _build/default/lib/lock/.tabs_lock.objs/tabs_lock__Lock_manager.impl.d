@@ -1,0 +1,1 @@
+lib/lock/lock_manager.ml: Engine Hashtbl List Mode Object_id Tabs_sim Tabs_wal Tid

@@ -1,0 +1,1 @@
+lib/lock/lock_manager.mli: Mode Tabs_sim Tabs_wal

@@ -1,0 +1,85 @@
+(** Per-server lock manager.
+
+    Servers implement locking locally (Section 2.1.3), so each data
+    server owns one lock manager, created with its compatibility
+    relation. Deadlock is resolved by time-outs, like TABS ("TABS, like
+    many other systems, currently relies on time-outs"). All unlocking is
+    done automatically at commit or abort time (Section 3.1.1).
+
+    Subtransaction semantics follow Section 2.1.3: an active
+    subtransaction synchronizes as a completely separate transaction (two
+    siblings can deadlock); when a subtransaction finishes successfully
+    its locks pass to its parent, and when it aborts they are released.
+    As a divergence made explicit here, a transaction is never blocked by
+    locks held solely by its own ancestors. *)
+
+type t
+
+type outcome =
+  | Granted
+  | Timed_out
+  | Deadlocked
+      (** refused immediately because waiting would close a cycle —
+          only with [detect_deadlocks] *)
+
+(** [detect_deadlocks] (default false) enables a local waits-for-graph
+    detector in the style the paper cites as the alternative to
+    time-outs (Obermarck; R*'s local detector): a request that would
+    close a cycle of waiting transactions is refused with {!Deadlocked}
+    instead of joining the queue. Time-outs remain as the backstop
+    (and as the only resolution for distributed deadlocks, exactly as
+    in TABS). *)
+val create :
+  ?compatible:Mode.compat ->
+  ?default_timeout:int ->
+  ?detect_deadlocks:bool ->
+  Tabs_sim.Engine.t ->
+  unit ->
+  t
+
+(** [lock t tid key mode] waits until the lock is granted or the timeout
+    (explicitly set by system users, defaulting to the manager's)
+    expires. Re-requesting a held mode is granted immediately; an upgrade
+    waits for conflicting holders. Must run inside a fiber. *)
+val lock :
+  t -> Tabs_wal.Tid.t -> Tabs_wal.Object_id.t -> Mode.t -> ?timeout:int ->
+  unit -> outcome
+
+(** [try_lock t tid key mode] is the server library's
+    [ConditionallyLockObject]: acquire without waiting, reporting
+    success. *)
+val try_lock : t -> Tabs_wal.Tid.t -> Tabs_wal.Object_id.t -> Mode.t -> bool
+
+(** [is_locked t key] is the server library's [IsObjectLocked]. *)
+val is_locked : t -> Tabs_wal.Object_id.t -> bool
+
+(** [holders t key] lists current holders with their modes. *)
+val holders : t -> Tabs_wal.Object_id.t -> (Tabs_wal.Tid.t * Mode.t list) list
+
+(** [held_by t tid] lists the keys [tid] currently holds. *)
+val held_by : t -> Tabs_wal.Tid.t -> Tabs_wal.Object_id.t list
+
+(** [release_all t tid] drops every lock held by [tid] (commit or abort
+    of a top-level transaction, or abort of a subtransaction) and grants
+    eligible waiters. *)
+val release_all : t -> Tabs_wal.Tid.t -> unit
+
+(** [release_subtree t tid] drops the locks of [tid] and of every
+    descendant subtransaction — the unlock when a subtransaction
+    subtree aborts. *)
+val release_subtree : t -> Tabs_wal.Tid.t -> unit
+
+(** [release_family t top] drops the locks of [top]'s whole family —
+    the automatic unlock at top-level commit or abort. *)
+val release_family : t -> Tabs_wal.Tid.t -> unit
+
+(** [transfer_to_parent t tid] passes the subtransaction's locks to its
+    parent when it finishes (merging with locks the parent already
+    holds). Raises [Invalid_argument] on a top-level tid. *)
+val transfer_to_parent : t -> Tabs_wal.Tid.t -> unit
+
+(** Number of lock requests that have timed out (deadlock statistic). *)
+val timeouts : t -> int
+
+(** Number of requests refused by the waits-for-graph detector. *)
+val deadlocks_detected : t -> int

@@ -1,0 +1,26 @@
+type t = Read | Write | Typed of string
+
+type compat = t -> t -> bool
+
+let standard a b = match (a, b) with Read, Read -> true | _ -> false
+
+let with_typed table a b =
+  match (a, b) with
+  | Read, Read -> true
+  | Typed x, Typed y ->
+      List.mem (x, y) table || List.mem (y, x) table
+  | Read, (Write | Typed _)
+  | Write, (Read | Write | Typed _)
+  | Typed _, (Read | Write) ->
+      false
+
+let equal a b =
+  match (a, b) with
+  | Read, Read | Write, Write -> true
+  | Typed x, Typed y -> String.equal x y
+  | (Read | Write | Typed _), _ -> false
+
+let pp fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write -> Format.pp_print_string fmt "write"
+  | Typed s -> Format.fprintf fmt "typed:%s" s

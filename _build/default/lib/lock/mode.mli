@@ -1,0 +1,29 @@
+(** Lock modes.
+
+    TABS servers use standard shared/exclusive locking, and the lock
+    manager also supports type-specific modes determined by a
+    server-supplied compatibility relation (Section 2.1.3 — "type-specific
+    locking requires use of a specialized compatibility relation"). *)
+
+type t =
+  | Read  (** shared *)
+  | Write  (** exclusive *)
+  | Typed of string
+      (** a type-specific mode, named by the defining server (e.g. a weak
+          queue's ["enqueue"] / ["dequeue"] modes) *)
+
+(** A compatibility relation; must be symmetric. *)
+type compat = t -> t -> bool
+
+(** Standard read/write compatibility: only [Read]/[Read] is compatible;
+    [Typed] modes conflict with everything (servers wanting them must
+    supply their own relation). *)
+val standard : compat
+
+(** [with_typed table] extends {!standard}: two [Typed] modes consult
+    [table] (symmetrized); a [Typed] mode vs [Read]/[Write] conflicts. *)
+val with_typed : (string * string) list -> compat
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

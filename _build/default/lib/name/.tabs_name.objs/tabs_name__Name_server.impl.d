@@ -1,0 +1,1 @@
+lib/name/name_server.ml: Comm_mgr Engine List Network String Tabs_net Tabs_sim

@@ -1,0 +1,1 @@
+lib/name/name_server.mli: Tabs_net Tabs_sim

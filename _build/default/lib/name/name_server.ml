@@ -1,0 +1,93 @@
+open Tabs_sim
+open Tabs_net
+
+type entry = { name : string; node : int; server : string; object_id : string }
+
+type Network.payload +=
+  | Ns_query of { name : string }
+  | Ns_reply of { matches : entry list }
+
+type pending = {
+  query_name : string;
+  mutable collected : entry list;
+  signal : unit Engine.Waitq.t;
+}
+
+type t = {
+  engine : Engine.t;
+  node_id : int;
+  cm : Comm_mgr.t;
+  mutable table : entry list;
+  mutable pending : pending list;
+}
+
+let local_matches t name =
+  List.filter (fun e -> String.equal e.name name) t.table
+
+let register t ~name ~server ~object_id =
+  let entry = { name; node = t.node_id; server; object_id } in
+  if not (List.mem entry t.table) then t.table <- entry :: t.table
+
+let deregister t ~name ~server =
+  t.table <-
+    List.filter
+      (fun e -> not (String.equal e.name name && String.equal e.server server))
+      t.table
+
+let local_entries t = t.table
+
+let lookup t ~name ?(desired = 1) ?(max_wait = 500_000) () =
+  let local = local_matches t name in
+  if List.length local >= desired then local
+  else begin
+    let p = { query_name = name; collected = local; signal = Engine.Waitq.create () } in
+    t.pending <- p :: t.pending;
+    Comm_mgr.broadcast t.cm (Ns_query { name });
+    let deadline = Engine.now t.engine + max_wait in
+    let rec wait () =
+      if List.length p.collected < desired then begin
+        let remaining = deadline - Engine.now t.engine in
+        if remaining > 0 then
+          match
+            Engine.Waitq.wait_timeout p.signal ~engine:t.engine ~timeout:remaining
+          with
+          | Some () -> wait ()
+          | None -> ()
+      end
+    in
+    wait ();
+    t.pending <- List.filter (fun q -> q != p) t.pending;
+    p.collected
+  end
+
+let handle_query t ~src name =
+  let matches = local_matches t name in
+  if matches <> [] then
+    Comm_mgr.send_datagram t.cm ~dest:src (Ns_reply { matches })
+
+let handle_reply t matches =
+  List.iter
+    (fun p ->
+      let fresh =
+        List.filter
+          (fun (e : entry) ->
+            String.equal e.name p.query_name && not (List.mem e p.collected))
+          matches
+      in
+      if fresh <> [] then begin
+        p.collected <- p.collected @ fresh;
+        ignore (Engine.Waitq.signal p.signal ~engine:t.engine ())
+      end)
+    t.pending
+
+let create engine ~node ~cm =
+  let t = { engine; node_id = node; cm; table = []; pending = [] } in
+  Comm_mgr.set_broadcast_handler cm (fun ~src payload ->
+      match payload with
+      | Ns_query { name } -> handle_query t ~src name
+      | _ -> ());
+  Comm_mgr.add_datagram_handler cm (fun ~src:_ payload ->
+      match payload with
+      | Ns_reply { matches } -> handle_reply t matches
+      | _ -> ());
+  t

@@ -1,0 +1,1 @@
+lib/net/comm_mgr.ml: Cost_model Engine Hashtbl List Network Queue Tabs_sim Tabs_wal Tid

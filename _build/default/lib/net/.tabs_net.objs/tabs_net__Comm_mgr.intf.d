@@ -1,0 +1,1 @@
+lib/net/comm_mgr.mli: Network Tabs_wal

@@ -1,0 +1,1 @@
+lib/net/network.ml: Engine Hashtbl List Rng Tabs_sim

@@ -1,0 +1,353 @@
+open Tabs_sim
+open Tabs_wal
+
+(* Internal session envelope. [incarnation] distinguishes sender
+   restarts: receivers key their expected-sequence state by it, so a
+   rebooted endpoint starts a fresh at-most-once stream. *)
+type Network.payload +=
+  | Sess_data of {
+      seq : int;
+      incarnation : int;
+      tid : Tid.t option;
+      inner : Network.payload;
+    }
+  | Sess_ack of { seq : int; incarnation : int }
+  | Sess_reset of { incarnation : int }
+        (* receiver has no state for this stream and cannot accept a
+           mid-stream frame: the sender must renumber and resend *)
+
+type out_session = {
+  mutable seq : int; (* next sequence number to assign *)
+  mutable acked : int; (* all < acked are acknowledged *)
+  mutable incarnation : int;
+  unsent : (int * Tid.t option * Network.payload) Queue.t;
+      (* messages assigned a seq, awaiting ack; head is oldest *)
+  mutable timer_running : bool;
+  mutable attempts : int;
+}
+
+type in_session = { mutable expected : int; mutable incarnation : int }
+
+type tree = {
+  mutable parent : int option;
+  mutable children : int list;
+  mutable local_root : bool;
+}
+
+type t = {
+  net : Network.t;
+  node_id : int;
+  rto : int;
+  retries : int;
+  mutable alive : bool;
+  out_sessions : (int, out_session) Hashtbl.t;
+  in_sessions : (int, in_session) Hashtbl.t;
+  trees : (Tid.t, tree) Hashtbl.t; (* keyed by top-level tid *)
+  mutable datagram_handlers : (src:int -> Network.payload -> unit) list;
+  mutable session_handler : src:int -> Network.payload -> unit;
+  mutable broadcast_handler : src:int -> Network.payload -> unit;
+  mutable failure_handler : peer:int -> unit;
+  mutable remote_involvement : Tid.t -> unit;
+  mutable next_incarnation : int;
+}
+
+let engine t = Network.engine t.net
+
+(* Transport latency for session and ack frames; subsumed by the
+   inter-node RPC primitive charged above this layer. *)
+let session_wire_delay = 2_000
+
+let node t = t.node_id
+
+let shutdown t = t.alive <- false
+
+let tree_of t tid =
+  let key = Tid.top_level tid in
+  match Hashtbl.find_opt t.trees key with
+  | Some tree -> tree
+  | None ->
+      let tree = { parent = None; children = []; local_root = false } in
+      Hashtbl.add t.trees key tree;
+      tree
+
+let note_local_root t tid = (tree_of t tid).local_root <- true
+
+let parent_of t tid = (tree_of t tid).parent
+
+let children_of t tid = List.rev (tree_of t tid).children
+
+let involved_remotely t tid =
+  let tree = tree_of t tid in
+  tree.parent <> None || tree.children <> []
+
+let forget_txn t tid = Hashtbl.remove t.trees (Tid.top_level tid)
+
+let note_outgoing t tid dest =
+  match tid with
+  | None -> ()
+  | Some tid ->
+      let tree = tree_of t tid in
+      let fresh = not (involved_remotely t tid) in
+      (* A reply to the node that first sent us the transaction must not
+         turn our parent into a child. *)
+      if
+        dest <> t.node_id
+        && tree.parent <> Some dest
+        && not (List.mem dest tree.children)
+      then tree.children <- dest :: tree.children;
+      if fresh && involved_remotely t tid then t.remote_involvement tid
+
+let note_incoming t tid src =
+  match tid with
+  | None -> ()
+  | Some tid ->
+      let tree = tree_of t tid in
+      let fresh = not (involved_remotely t tid) in
+      (* A reply from a child must not become our parent. *)
+      if
+        tree.parent = None && (not tree.local_root) && src <> t.node_id
+        && not (List.mem src tree.children)
+      then tree.parent <- Some src;
+      if fresh then t.remote_involvement tid
+
+(* Sessions ---------------------------------------------------------- *)
+
+(* Incarnation identifiers must grow across Communication Manager
+   restarts so receivers can ignore stale frames: fold the virtual time
+   of allocation into the value. *)
+let fresh_incarnation t =
+  t.next_incarnation <- t.next_incarnation + 1;
+  (t.node_id * 1_000_000_000_000)
+  + (Engine.now (engine t) * 100)
+  + (t.next_incarnation mod 100)
+
+let out_session t peer =
+  match Hashtbl.find_opt t.out_sessions peer with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          seq = 0;
+          acked = 0;
+          incarnation = fresh_incarnation t;
+          unsent = Queue.create ();
+          timer_running = false;
+          attempts = 0;
+        }
+      in
+      Hashtbl.add t.out_sessions peer s;
+      s
+
+let transmit_frame t ~dest frame =
+  Network.transmit t.net ~src:t.node_id ~dest ~channel:Network.Session
+    ~delay:session_wire_delay frame
+
+let send_window t ~dest (s : out_session) =
+  Queue.iter
+    (fun (seq, tid, inner) ->
+      transmit_frame t ~dest
+        (Sess_data { seq; incarnation = s.incarnation; tid; inner }))
+    s.unsent
+
+let rec arm_timer t ~dest (s : out_session) =
+  if not s.timer_running then begin
+    s.timer_running <- true;
+    Engine.at (engine t) ~delay:t.rto (fun () -> on_timer t ~dest s)
+  end
+
+and on_timer t ~dest s =
+  s.timer_running <- false;
+  if t.alive && not (Queue.is_empty s.unsent) then begin
+    s.attempts <- s.attempts + 1;
+    if s.attempts > t.retries then begin
+      (* Permanent communication failure: drop the stream, start a new
+         incarnation for any later traffic, and report the peer. *)
+      Queue.clear s.unsent;
+      s.attempts <- 0;
+      s.incarnation <- fresh_incarnation t;
+      s.seq <- 0;
+      s.acked <- 0;
+      let handler = t.failure_handler in
+      ignore (Engine.spawn (engine t) ~node:t.node_id (fun () -> handler ~peer:dest))
+    end
+    else begin
+      send_window t ~dest s;
+      arm_timer t ~dest s
+    end
+  end
+
+let session_send t ~dest ?tid payload =
+  note_outgoing t tid dest;
+  let s = out_session t dest in
+  let seq = s.seq in
+  s.seq <- seq + 1;
+  Queue.add (seq, tid, payload) s.unsent;
+  transmit_frame t ~dest (Sess_data { seq; incarnation = s.incarnation; tid; inner = payload });
+  arm_timer t ~dest s
+
+(* The receiver lost its state (restart): renumber every unacked
+   message into a fresh stream and resend. Messages that were already
+   acknowledged were delivered to the receiver's previous incarnation
+   and are not replayed. *)
+let handle_reset t ~src ~incarnation =
+  match Hashtbl.find_opt t.out_sessions src with
+  | Some s when incarnation = s.incarnation ->
+      s.incarnation <- fresh_incarnation t;
+      s.acked <- 0;
+      let pending = Queue.create () in
+      let n = ref 0 in
+      Queue.iter
+        (fun (_, tid, inner) ->
+          Queue.add (!n, tid, inner) pending;
+          incr n)
+        s.unsent;
+      Queue.clear s.unsent;
+      Queue.transfer pending s.unsent;
+      s.seq <- !n;
+      s.attempts <- 0;
+      send_window t ~dest:src s;
+      arm_timer t ~dest:src s
+  | Some _ | None -> ()
+
+let handle_ack t ~src ~seq ~incarnation =
+  match Hashtbl.find_opt t.out_sessions src with
+  | None -> ()
+  | Some s ->
+      if incarnation = s.incarnation && seq >= s.acked then begin
+        s.acked <- seq + 1;
+        s.attempts <- 0;
+        while
+          (not (Queue.is_empty s.unsent))
+          && (let q, _, _ = Queue.peek s.unsent in
+              q <= seq)
+        do
+          ignore (Queue.pop s.unsent)
+        done
+      end
+
+let handle_session_data t ~src ~seq ~incarnation ~tid ~inner =
+  match Hashtbl.find_opt t.in_sessions src with
+  | None when seq > 0 ->
+      (* We have no state for this stream (we probably restarted) and
+         this frame is not its beginning: earlier frames were delivered
+         to our previous incarnation. Ask the sender to renumber. *)
+      Network.transmit t.net ~src:t.node_id ~dest:src ~channel:Network.Session
+        ~delay:session_wire_delay (Sess_reset { incarnation })
+  | state ->
+  let s =
+    match state with
+    | Some s -> s
+    | None ->
+        let s = { expected = 0; incarnation } in
+        Hashtbl.add t.in_sessions src s;
+        s
+  in
+  if incarnation < s.incarnation then
+    (* stale frame from a superseded stream *)
+    ()
+  else begin
+  if incarnation > s.incarnation then begin
+    (* The peer restarted (or declared us failed): fresh stream. *)
+    s.incarnation <- incarnation;
+    s.expected <- 0
+  end;
+  if seq < s.expected then
+    (* Duplicate of a delivered message: re-ack, do not deliver. *)
+    Network.transmit t.net ~src:t.node_id ~dest:src ~channel:Network.Session
+      ~delay:session_wire_delay
+      (Sess_ack { seq = s.expected - 1; incarnation })
+  else if seq = s.expected then begin
+    s.expected <- seq + 1;
+    Network.transmit t.net ~src:t.node_id ~dest:src ~channel:Network.Session
+      ~delay:session_wire_delay
+      (Sess_ack { seq; incarnation });
+    note_incoming t tid src;
+    t.session_handler ~src inner
+  end
+  (* seq > expected: an earlier frame was lost; the retransmission of the
+     full window will re-deliver in order, so drop this one. *)
+  end
+
+(* Datagrams --------------------------------------------------------- *)
+
+let datagram_delay t = Cost_model.cost (Engine.cost_model (engine t)) Cost_model.Datagram
+
+(* The datagram primitive's cost covers protocol work and the wire: the
+   sending fiber is delayed by it, and delivery coincides with the
+   sender resuming. *)
+let send_datagram t ~dest payload =
+  Engine.charge (engine t) Cost_model.Datagram;
+  Engine.note_cpu (engine t) ~process:"cm" (datagram_delay t);
+  Network.transmit t.net ~src:t.node_id ~dest ~channel:Network.Datagram
+    ~delay:0 payload
+
+let send_datagrams_parallel t ~dests payload =
+  match dests with
+  | [] -> ()
+  | first :: rest ->
+      send_datagram t ~dest:first payload;
+      List.iter
+        (fun dest ->
+          (* overlapped sends cost the paper's half-datagram increment *)
+          Engine.charge_fraction (engine t) Cost_model.Datagram ~num:1 ~den:2;
+          Engine.note_cpu (engine t) ~process:"cm" (datagram_delay t / 2);
+          Network.transmit t.net ~src:t.node_id ~dest ~channel:Network.Datagram
+            ~delay:0 payload)
+        rest
+
+(* Broadcast --------------------------------------------------------- *)
+
+let broadcast t payload =
+  Engine.charge (engine t) Cost_model.Datagram;
+  List.iter
+    (fun dest ->
+      if dest <> t.node_id then
+        Network.transmit t.net ~src:t.node_id ~dest ~channel:Network.Broadcast
+          ~delay:(datagram_delay t) payload)
+    (Network.nodes t.net)
+
+(* Wiring ------------------------------------------------------------ *)
+
+let add_datagram_handler t f = t.datagram_handlers <- t.datagram_handlers @ [ f ]
+
+let set_session_handler t f = t.session_handler <- f
+
+let set_broadcast_handler t f = t.broadcast_handler <- f
+
+let set_failure_handler t f = t.failure_handler <- f
+
+let set_remote_involvement_handler t f = t.remote_involvement <- f
+
+let create net ~node ?(session_rto = 100_000) ?(session_retries = 8) () =
+  let t =
+    {
+      net;
+      node_id = node;
+      rto = session_rto;
+      retries = session_retries;
+      alive = true;
+      out_sessions = Hashtbl.create 8;
+      in_sessions = Hashtbl.create 8;
+      trees = Hashtbl.create 32;
+      datagram_handlers = [];
+      session_handler = (fun ~src:_ _ -> ());
+      broadcast_handler = (fun ~src:_ _ -> ());
+      failure_handler = (fun ~peer:_ -> ());
+      remote_involvement = (fun _ -> ());
+      next_incarnation = 0;
+    }
+  in
+  Network.register net ~node ~channel:Network.Datagram (fun ~src payload ->
+      if t.alive then
+        List.iter (fun handler -> handler ~src payload) t.datagram_handlers);
+  Network.register net ~node ~channel:Network.Broadcast (fun ~src payload ->
+      if t.alive then t.broadcast_handler ~src payload);
+  Network.register net ~node ~channel:Network.Session (fun ~src payload ->
+      if t.alive then
+        match payload with
+        | Sess_data { seq; incarnation; tid; inner } ->
+            handle_session_data t ~src ~seq ~incarnation ~tid ~inner
+        | Sess_ack { seq; incarnation } -> handle_ack t ~src ~seq ~incarnation
+        | Sess_reset { incarnation } -> handle_reset t ~src ~incarnation
+        | _ -> ());
+  t

@@ -1,0 +1,1 @@
+lib/recovery/recovery_mgr.ml: Array Cost_model Disk Engine Hashtbl List Log_manager Object_id Overheads Page Printf Record String Tabs_accent Tabs_sim Tabs_storage Tabs_wal Tid Vm

@@ -1,0 +1,1 @@
+lib/recovery/recovery_mgr.mli: Tabs_accent Tabs_sim Tabs_wal

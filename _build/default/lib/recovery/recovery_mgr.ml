@@ -1,0 +1,437 @@
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+open Tabs_accent
+
+type txn_status = Committed | Aborted | Prepared of int | Active
+
+type op_handler = { redo : op:string -> arg:string -> unit;
+                    undo : op:string -> arg:string -> unit }
+
+type recovery_outcome = {
+  losers : Tid.t list;
+  in_doubt : (Tid.t * int) list;
+  written_objects : (Tid.t * Object_id.t) list;
+  records_scanned : int;
+}
+
+type t = {
+  engine : Engine.t;
+  node : int;
+  log : Log_manager.t;
+  vm : Vm.t;
+  log_space_limit : int;
+  op_handlers : (string, op_handler) Hashtbl.t;
+  page_last_lsn : (Disk.page_id, int) Hashtbl.t;
+      (* highest LSN of a log record covering each page, for the
+         write-ahead force before page-out *)
+  mutable active_txns_source :
+    unit -> (Tid.t * Record.lsn option) list;
+  mutable last_statuses : (Tid.t * txn_status) list;
+  mutable last_background_flush : int;
+  background_flush_interval : int;
+}
+
+let log t = t.log
+
+let vm t = t.vm
+
+let register_op_handler t ~server handler =
+  Hashtbl.replace t.op_handlers server handler
+
+let set_active_txns_source t f = t.active_txns_source <- f
+
+let small_msg t = Engine.charge t.engine Cost_model.Small_contiguous_message
+
+(* Messages that would disappear if the Recovery and Transaction
+   Managers were merged into the kernel (the Section 5.3 "Improved TABS
+   Architecture"): their cost is charged normally AND noted under an
+   "elidable" accumulator the projection subtracts. *)
+let elidable_small_msg t =
+  Engine.note_cpu t.engine ~process:"elidable"
+    (Cost_model.cost (Engine.cost_model t.engine)
+       Cost_model.Small_contiguous_message);
+  small_msg t
+
+(* As above but without delaying the caller: the kernel's first-dirty
+   notice is asynchronous — the writing coroutine must not lose the
+   processor between reading an object and updating it, or commuting
+   operations under type-specific locks could interleave mid-update. *)
+let elidable_small_msg_async t =
+  Engine.record_only t.engine Cost_model.Small_contiguous_message;
+  Engine.note_cpu t.engine ~process:"elidable"
+    (Cost_model.cost (Engine.cost_model t.engine)
+       Cost_model.Small_contiguous_message)
+
+(* The kernel <-> Recovery Manager paging protocol of Section 3.2.1:
+   three messages around every page-out of a recoverable-segment page,
+   plus the first-modification notice. *)
+let wal_hooks t =
+  {
+    Vm.on_first_dirty = (fun _pid -> elidable_small_msg_async t);
+    before_page_out =
+      (fun pid ->
+        elidable_small_msg t;
+        (match Hashtbl.find_opt t.page_last_lsn pid with
+        | Some lsn -> Log_manager.force t.log ~upto:lsn
+        | None -> ());
+        (* the Recovery Manager's go-ahead, carrying the sector
+           sequence number for the kernel to write atomically *)
+        elidable_small_msg t);
+    after_page_out = (fun _pid -> elidable_small_msg t);
+  }
+
+let create engine ~node ~log ~vm ?(log_space_limit = 256 * 1024) () =
+  let t =
+    {
+      engine;
+      node;
+      log;
+      vm;
+      log_space_limit;
+      op_handlers = Hashtbl.create 8;
+      page_last_lsn = Hashtbl.create 256;
+      active_txns_source = (fun () -> []);
+      last_statuses = [];
+      last_background_flush = 0;
+      background_flush_interval = 250_000;
+    }
+  in
+  Vm.set_wal_hooks vm (wal_hooks t);
+  t
+
+let note_pages_logged t pages lsn =
+  List.iter
+    (fun pid ->
+      match Hashtbl.find_opt t.page_last_lsn pid with
+      | Some prev when prev >= lsn -> ()
+      | Some _ | None -> Hashtbl.replace t.page_last_lsn pid lsn)
+    pages
+
+(* Forward processing ------------------------------------------------- *)
+
+let log_value t ~tid ~obj ~old_value ~new_value =
+  if not (Object_id.fits_one_page obj) then
+    invalid_arg "Recovery_mgr.log_value: object spans pages (use operation \
+                 logging)";
+  (* The server sends the buffered old value and the new value to the
+     Recovery Manager in one large message; the RM spools it. *)
+  Engine.charge t.engine Cost_model.Large_contiguous_message;
+  Engine.charge_cpu t.engine ~process:"rm" Overheads.rm_spool_write;
+  let lsn = Log_manager.append_value t.log ~tid ~obj ~old_value ~new_value in
+  Vm.note_update t.vm obj ~lsn;
+  note_pages_logged t (Object_id.pages obj) lsn;
+  lsn
+
+let log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs =
+  Engine.charge t.engine Cost_model.Large_contiguous_message;
+  Engine.charge_cpu t.engine ~process:"rm" Overheads.rm_spool_write;
+  let pages = List.concat_map Object_id.pages objs in
+  let lsn =
+    Log_manager.append_operation t.log ~tid ~server ~operation:op ~undo_arg
+      ~redo_arg ~pages
+  in
+  List.iter (fun obj -> Vm.note_update t.vm obj ~lsn) objs;
+  note_pages_logged t pages lsn;
+  lsn
+
+(* The kernel writes modified pages back to their segments as paging
+   activity allows (the paper measured 0.86 page I/Os per update
+   transaction from this background traffic). Modeled as a short-lived
+   cleaning fiber kicked at most once per interval when transactions
+   commit, so the simulation still quiesces. *)
+let maybe_background_flush t =
+  let now = Engine.now t.engine in
+  if now - t.last_background_flush >= t.background_flush_interval then begin
+    t.last_background_flush <- now;
+    ignore
+      (Engine.spawn t.engine ~node:t.node (fun () -> Vm.flush_all t.vm))
+  end
+
+let append_tm_record t record =
+  (* Transaction Manager -> Recovery Manager traffic: elided when the
+     two merge with the kernel. *)
+  elidable_small_msg t;
+  (match record with
+  | Record.Txn_begin _ -> maybe_background_flush t
+  | _ -> ());
+  Log_manager.append t.log record
+
+let force_through t lsn = Log_manager.force t.log ~upto:lsn
+
+(* Undo/redo application ---------------------------------------------- *)
+
+let restore_value t obj value =
+  Vm.pin t.vm obj ~access:`Random;
+  Vm.write t.vm obj value;
+  Vm.unpin t.vm obj
+
+let op_handler t server =
+  match Hashtbl.find_opt t.op_handlers server with
+  | Some h -> h
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Recovery_mgr: no operation handler registered for server %S"
+           server)
+
+(* Abort -------------------------------------------------------------- *)
+
+let abort t ~tid =
+  let rec walk = function
+    | None -> ()
+    | Some lsn -> (
+        match Log_manager.read t.log lsn with
+        | Record.Update_value u ->
+            (* instruct the owning server to undo (one message), then
+               restore the old image *)
+            small_msg t;
+            restore_value t u.obj u.old_value;
+            Vm.note_update t.vm u.obj ~lsn;
+            walk u.prev
+        | Record.Update_operation u ->
+            small_msg t;
+            (op_handler t u.server).undo ~op:u.operation ~arg:u.undo_arg;
+            Vm.note_pages t.vm u.pages ~lsn;
+            walk u.prev
+        | _ -> assert false)
+  in
+  walk (Log_manager.last_lsn_of t.log tid);
+  ignore (Log_manager.append t.log (Record.Txn_abort tid))
+
+(* Checkpoints and reclamation ---------------------------------------- *)
+
+let checkpoint t =
+  let dirty_pages = Vm.dirty_pages t.vm in
+  let active_txns = t.active_txns_source () in
+  let lsn =
+    Log_manager.append t.log (Record.Checkpoint { dirty_pages; active_txns })
+  in
+  Log_manager.force_all t.log;
+  lsn
+
+let maybe_reclaim t =
+  if Log_manager.stable_bytes t.log <= t.log_space_limit then false
+  else begin
+    (* Reclamation "may force pages back to disk before they would
+       otherwise be written". *)
+    Vm.flush_all t.vm;
+    let ck = checkpoint t in
+    let keep_from =
+      List.fold_left
+        (fun acc (tid, _) ->
+          match Log_manager.first_lsn_of t.log tid with
+          | Some first -> min acc first
+          | None -> acc)
+        ck
+        (t.active_txns_source ())
+    in
+    Log_manager.truncate t.log ~keep_from;
+    true
+  end
+
+(* Crash recovery ------------------------------------------------------ *)
+
+type analysis = {
+  records : (Record.lsn * Record.t) array;
+  mutable statuses : (Tid.t * txn_status) list; (* top-level tids *)
+  mutable aborted_tids : Tid.t list; (* incl. subtransactions *)
+}
+
+let status_of a top =
+  match List.assoc_opt top a.statuses with Some s -> s | None -> Active
+
+let set_status a top status =
+  a.statuses <- (top, status) :: List.remove_assoc top a.statuses
+
+(* Forward scan of the live stable log: collect records, resolve each
+   top-level transaction's fate, and remember individually aborted
+   subtransactions. *)
+let analyze t =
+  let acc = ref [] in
+  let n = ref 0 in
+  let bytes = ref 0 in
+  Log_manager.iter_forward t.log ~from:(Log_manager.first_lsn t.log)
+    ~f:(fun lsn record ->
+      incr n;
+      bytes := !bytes + String.length (Record.encode record);
+      acc := (lsn, record) :: !acc);
+  (* reading the log back is sequential I/O, one read per log page *)
+  let pages = (!bytes + Page.size - 1) / Page.size in
+  for _ = 1 to pages do
+    Engine.charge t.engine Cost_model.Sequential_read
+  done;
+  let a =
+    {
+      records = Array.of_list (List.rev !acc);
+      statuses = [];
+      aborted_tids = [];
+    }
+  in
+  Array.iter
+    (fun (_, record) ->
+      match record with
+      | Record.Txn_begin tid | Record.Update_value { tid; _ }
+      | Record.Update_operation { tid; _ } ->
+          let top = Tid.top_level tid in
+          if not (List.mem_assoc top a.statuses) then set_status a top Active
+      | Record.Txn_prepare (tid, coordinator) ->
+          set_status a (Tid.top_level tid) (Prepared coordinator)
+      | Record.Txn_commit tid -> set_status a (Tid.top_level tid) Committed
+      | Record.Txn_abort tid ->
+          a.aborted_tids <- tid :: a.aborted_tids;
+          if Tid.is_top tid then set_status a tid Aborted
+      | Record.Txn_end _ | Record.Checkpoint _ -> ())
+    a.records;
+  a
+
+(* An update by [tid] survives iff no logged abort covers it and its
+   top-level transaction committed or prepared. *)
+let winner a tid =
+  (not
+     (List.exists
+        (fun aborted -> Tid.is_ancestor ~ancestor:aborted tid)
+        a.aborted_tids))
+  &&
+  match status_of a (Tid.top_level tid) with
+  | Committed | Prepared _ -> true
+  | Aborted | Active -> false
+
+(* Pass 2 for operation logging: repeat history forward, gated by the
+   sector sequence numbers so already-reflected effects are skipped. *)
+let op_redo_pass t a =
+  Array.iter
+    (fun (lsn, record) ->
+      match record with
+      | Record.Update_operation u ->
+          let needs_redo =
+            u.pages = []
+            || List.exists (fun pid -> Disk.seqno (Vm.disk t.vm) pid < lsn) u.pages
+          in
+          if needs_redo then begin
+            small_msg t;
+            (op_handler t u.server).redo ~op:u.operation ~arg:u.redo_arg;
+            Vm.note_pages t.vm u.pages ~lsn
+          end
+      | _ -> ())
+    a.records
+
+(* Pass 3 for operation logging: undo losers backward. History was
+   repeated in pass 2, so every loser effect is present. *)
+let op_undo_pass t a =
+  for i = Array.length a.records - 1 downto 0 do
+    match a.records.(i) with
+    | lsn, Record.Update_operation u when not (winner a u.tid) ->
+        small_msg t;
+        (op_handler t u.server).undo ~op:u.operation ~arg:u.undo_arg;
+        Vm.note_pages t.vm u.pages ~lsn
+    | _ -> ()
+  done
+
+module Obj_key = struct
+  type t = Object_id.t
+
+  let equal = Object_id.equal
+
+  let hash = Object_id.hash
+end
+
+module Obj_set = Hashtbl.Make (Obj_key)
+
+(* The single backward pass of value recovery: the newest record for an
+   object decides it. A winner's new value finalizes the object; loser
+   records keep restoring older old-values until the oldest one — whose
+   old value is the last committed image — has been applied. *)
+let value_backward_pass t a =
+  let finalized = Obj_set.create 64 in
+  for i = Array.length a.records - 1 downto 0 do
+    match a.records.(i) with
+    | lsn, Record.Update_value u ->
+        if not (Obj_set.mem finalized u.obj) then
+          if winner a u.tid then begin
+            restore_value t u.obj u.new_value;
+            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn;
+            Obj_set.add finalized u.obj ()
+          end
+          else begin
+            restore_value t u.obj u.old_value;
+            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+          end
+    | _ -> ()
+  done
+
+let recover t =
+  let a = analyze t in
+  op_redo_pass t a;
+  value_backward_pass t a;
+  op_undo_pass t a;
+  (* Roll-back records for the losers that never logged an outcome. *)
+  let losers =
+    List.filter_map
+      (fun (tid, status) -> if status = Active then Some tid else None)
+      a.statuses
+  in
+  List.iter
+    (fun tid -> ignore (Log_manager.append t.log (Record.Txn_abort tid)))
+    losers;
+  let in_doubt =
+    List.filter_map
+      (fun (tid, status) ->
+        match status with Prepared c -> Some (tid, c) | _ -> None)
+      a.statuses
+  in
+  let written_objects =
+    Array.to_list a.records
+    |> List.filter_map (fun (_, record) ->
+           match record with
+           | Record.Update_value u
+             when List.mem_assoc (Tid.top_level u.tid) in_doubt ->
+               Some (u.tid, u.obj)
+           | _ -> None)
+  in
+  (* In-doubt transactions may yet be told to abort by their
+     coordinator: re-register their update chains so a later
+     [abort] can walk them. *)
+  let chains = Hashtbl.create 8 in
+  Array.iter
+    (fun (lsn, record) ->
+      match Record.tid_of record with
+      | Some tid
+        when (match record with
+             | Record.Update_value _ | Record.Update_operation _ -> true
+             | _ -> false)
+             && List.mem_assoc (Tid.top_level tid) in_doubt -> (
+          match Hashtbl.find_opt chains tid with
+          | None -> Hashtbl.add chains tid (lsn, lsn)
+          | Some (first, _) -> Hashtbl.replace chains tid (first, lsn))
+      | Some _ | None -> ())
+    a.records;
+  Hashtbl.iter
+    (fun tid (first, last) ->
+      Log_manager.restore_chain t.log ~tid ~first ~last)
+    chains;
+  (* Segments must reflect exactly committed + prepared work. *)
+  Vm.flush_all t.vm;
+  Log_manager.force_all t.log;
+  (* Everything is on disk now; reclaim the scanned prefix so repeated
+     crashes do not re-read ever-growing history. Chains of in-doubt
+     transactions must stay walkable for a late Abort verdict. *)
+  let keep_from =
+    Hashtbl.fold (fun _ (first, _) acc -> min acc first) chains
+      (Log_manager.next_lsn t.log)
+  in
+  let ck =
+    Log_manager.append t.log
+      (Record.Checkpoint { dirty_pages = []; active_txns = [] })
+  in
+  Log_manager.force_all t.log;
+  Log_manager.truncate t.log ~keep_from:(min keep_from ck);
+  t.last_statuses <- a.statuses;
+  {
+    losers;
+    in_doubt;
+    written_objects;
+    records_scanned = Array.length a.records;
+  }
+
+let statuses t = t.last_statuses

@@ -1,0 +1,137 @@
+(** The Recovery Manager: log access coordination, write-ahead-log
+    enforcement, transaction abort, checkpointing, log reclamation, and
+    crash recovery (Section 3.2.2).
+
+    Both of the paper's recovery techniques co-exist over the common log:
+
+    - {e value logging} — old/new images restored in a single backward
+      pass at crash recovery;
+    - {e operation logging} — server-registered logical undo/redo,
+      replayed by a three-pass algorithm (analysis, redo, undo) gated by
+      the 39-bit per-sector sequence numbers the kernel writes atomically
+      with each page.
+
+    A [t] is volatile; after a crash build a fresh one over the surviving
+    stable log and disk, then call {!recover}. *)
+
+type t
+
+(** Status of a top-level transaction as determined from the log. *)
+type txn_status =
+  | Committed
+  | Aborted
+  | Prepared of int  (** in doubt; argument is the coordinator node *)
+  | Active  (** no outcome on the log: a loser at crash recovery *)
+
+(** Logical undo/redo callbacks a data server registers for its
+    operation-logged objects. They run during abort and crash recovery,
+    with the server's recoverable segment already mapped; [redo] must be
+    idempotent at page granularity (the sequence-number gate is
+    per page). *)
+type op_handler = { redo : op:string -> arg:string -> unit;
+                    undo : op:string -> arg:string -> unit }
+
+(** The summary {!recover} returns to the node's Transaction Manager. *)
+type recovery_outcome = {
+  losers : Tabs_wal.Tid.t list;
+      (** active transactions rolled back (abort records written) *)
+  in_doubt : (Tabs_wal.Tid.t * int) list;
+      (** prepared transactions and their coordinator nodes; their
+          updates are applied but their locks must be re-taken until the
+          coordinator's verdict arrives *)
+  written_objects : (Tabs_wal.Tid.t * Tabs_wal.Object_id.t) list;
+      (** objects updated by in-doubt transactions, for lock
+          re-acquisition *)
+  records_scanned : int;
+}
+
+val create :
+  Tabs_sim.Engine.t ->
+  node:int ->
+  log:Tabs_wal.Log_manager.t ->
+  vm:Tabs_accent.Vm.t ->
+  ?log_space_limit:int ->
+  unit ->
+  t
+
+val log : t -> Tabs_wal.Log_manager.t
+
+val vm : t -> Tabs_accent.Vm.t
+
+(** [register_op_handler t ~server handler] installs the logical
+    undo/redo code for [server]'s operation-logged objects. *)
+val register_op_handler : t -> server:string -> op_handler -> unit
+
+(** [set_active_txns_source t f] — the Transaction Manager supplies the
+    list of in-progress transactions for checkpoint records. *)
+val set_active_txns_source :
+  t -> (unit -> (Tabs_wal.Tid.t * Tabs_wal.Record.lsn option) list) -> unit
+
+(** {2 Forward processing} *)
+
+(** [log_value t ~tid ~obj ~old_value ~new_value] spools a value-logging
+    record (one large Accent message from server to Recovery Manager plus
+    spooling CPU) and returns its LSN. The caller must hold the object
+    pinned; its pages' recovery LSNs are maintained. *)
+val log_value :
+  t ->
+  tid:Tabs_wal.Tid.t ->
+  obj:Tabs_wal.Object_id.t ->
+  old_value:string ->
+  new_value:string ->
+  Tabs_wal.Record.lsn
+
+(** [log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs] spools
+    an operation-logging record covering the pages of all of [objs] —
+    one record may describe an operation on a multi-page object. *)
+val log_operation :
+  t ->
+  tid:Tabs_wal.Tid.t ->
+  server:string ->
+  op:string ->
+  undo_arg:string ->
+  redo_arg:string ->
+  objs:Tabs_wal.Object_id.t list ->
+  Tabs_wal.Record.lsn
+
+(** [append_tm_record t record] writes a transaction-management record on
+    behalf of the Transaction Manager (one small message). *)
+val append_tm_record : t -> Tabs_wal.Record.t -> Tabs_wal.Record.lsn
+
+(** [force_through t lsn] makes the log stable through [lsn] — the
+    commit-protocol force. *)
+val force_through : t -> Tabs_wal.Record.lsn -> unit
+
+(** {2 Abort}
+
+    [abort t ~tid] follows the backward chain of [tid]'s log records,
+    restoring value-logged objects and invoking operation undo handlers,
+    then writes the abort record. Undoes only [tid]'s own updates (a
+    subtransaction aborts independently of its parent). *)
+val abort : t -> tid:Tabs_wal.Tid.t -> unit
+
+(** {2 Checkpoints and reclamation} *)
+
+(** [checkpoint t] writes a checkpoint record (current dirty pages and
+    active transactions) and forces the log. *)
+val checkpoint : t -> Tabs_wal.Record.lsn
+
+(** [maybe_reclaim t] runs the reclamation algorithm if the live log
+    exceeds the space limit: forces pages to disk ("before they would
+    otherwise be written"), checkpoints, and truncates the log prefix no
+    longer needed by any dirty page or active transaction. Returns true
+    if space was reclaimed. *)
+val maybe_reclaim : t -> bool
+
+(** {2 Crash recovery} *)
+
+(** [recover t] runs at node restart: value-logged objects are restored
+    in one backward pass; operation-logged objects by
+    analysis/redo/undo passes gated on sector sequence numbers. Abort
+    records are written for losers; disk pages are flushed so the
+    segments reflect exactly the committed and prepared transactions. *)
+val recover : t -> recovery_outcome
+
+(** [statuses t] — transaction statuses computed by the last {!recover},
+    for the Transaction Manager's restart queries. *)
+val statuses : t -> (Tabs_wal.Tid.t * txn_status) list

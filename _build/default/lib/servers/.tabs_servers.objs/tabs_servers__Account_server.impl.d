@@ -1,0 +1,1 @@
+lib/servers/account_server.ml: Bytes Codec Errors Int64 List Mode Page Rpc Server_lib String Tabs_core Tabs_lock Tabs_storage Tabs_wal

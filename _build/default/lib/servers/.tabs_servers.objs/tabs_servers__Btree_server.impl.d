@@ -1,0 +1,1 @@
+lib/servers/btree_server.ml: Array Bytes Char Codec Disk Errors Fun Int64 List Mode Page Printf Rpc Server_lib String Tabs_accent Tabs_core Tabs_lock Tabs_storage Tabs_wal

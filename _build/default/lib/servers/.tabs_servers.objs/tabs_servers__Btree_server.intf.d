@@ -1,0 +1,1 @@
+lib/servers/btree_server.mli: Tabs_core Tabs_wal

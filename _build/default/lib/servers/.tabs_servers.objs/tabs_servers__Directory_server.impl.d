@@ -1,0 +1,1 @@
+lib/servers/directory_server.ml: Btree_server Errors List String Tabs_core

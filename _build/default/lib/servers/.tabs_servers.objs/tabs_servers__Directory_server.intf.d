@@ -1,0 +1,1 @@
+lib/servers/directory_server.mli: Tabs_core Tabs_wal

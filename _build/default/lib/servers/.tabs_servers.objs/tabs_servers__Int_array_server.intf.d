@@ -1,0 +1,1 @@
+lib/servers/int_array_server.mli: Tabs_core Tabs_wal

@@ -1,0 +1,1 @@
+lib/servers/io_server.ml: Buffer Bytes Char Codec Engine Errors Fun Hashtbl Int64 List Mode Page Printf Queue Server_lib String Tabs_core Tabs_lock Tabs_sim Tabs_storage Tabs_wal Tid

@@ -1,0 +1,1 @@
+lib/servers/replicated_directory.ml: Btree_server Buffer Bytes Errors Int64 List Rpc String Tabs_core

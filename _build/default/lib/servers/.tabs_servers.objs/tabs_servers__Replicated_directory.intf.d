@@ -1,0 +1,1 @@
+lib/servers/replicated_directory.mli: Tabs_core Tabs_wal

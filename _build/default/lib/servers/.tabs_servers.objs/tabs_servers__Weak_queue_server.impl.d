@@ -1,0 +1,1 @@
+lib/servers/weak_queue_server.ml: Bytes Codec Errors Int64 Mode Page Rpc Server_lib String Tabs_core Tabs_lock Tabs_sim Tabs_storage Tabs_wal

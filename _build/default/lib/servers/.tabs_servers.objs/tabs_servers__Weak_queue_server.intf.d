@@ -1,0 +1,1 @@
+lib/servers/weak_queue_server.mli: Tabs_core Tabs_wal

@@ -1,0 +1,212 @@
+open Tabs_storage
+open Tabs_wal
+open Tabs_lock
+open Tabs_core
+
+let slot_size = 8
+
+let slots_per_page = Page.size / slot_size
+
+type t = { server : Server_lib.t; n_accounts : int }
+
+let server t = t.server
+
+let accounts t = t.n_accounts
+
+let account_obj t i =
+  let page = i / slots_per_page and slot = i mod slots_per_page in
+  Server_lib.create_object_id t.server
+    ~offset:((page * Page.size) + (slot * slot_size))
+    ~length:slot_size
+
+let check_range t i =
+  if i < 0 || i >= t.n_accounts then
+    raise (Errors.Server_error "NoSuchAccount")
+
+let decode_slot s = Int64.to_int (String.get_int64_le s 0)
+
+let encode_slot v =
+  let b = Bytes.create slot_size in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Bytes.to_string b
+
+(* A transition-logged adjustment: a list of (account, old, new)
+   absolute balances. Applying either side is idempotent. *)
+let encode_adjustment entries =
+  let w = Codec.Writer.create () in
+  Codec.Writer.list w
+    (fun w (i, v) ->
+      Codec.Writer.int w i;
+      Codec.Writer.int w v)
+    entries;
+  Codec.Writer.contents w
+
+let decode_adjustment s =
+  let r = Codec.Reader.of_string s in
+  Codec.Reader.list r (fun r ->
+      let i = Codec.Reader.int r in
+      let v = Codec.Reader.int r in
+      (i, v))
+
+let balance t tid i =
+  Server_lib.enter_operation t.server tid;
+  check_range t i;
+  let obj = account_obj t i in
+  Server_lib.lock_object t.server tid obj Mode.Read;
+  decode_slot (Server_lib.read_object t.server obj)
+
+(* Apply an adjustment through one operation log record. Precondition:
+   all objects write-locked by [tid]. *)
+let apply_adjustment t tid entries =
+  let objs = List.map (fun (i, _, _) -> account_obj t i) entries in
+  List.iter (fun obj -> Server_lib.pin_object t.server obj) objs;
+  List.iter2
+    (fun obj (_, _, new_value) ->
+      Server_lib.write_object t.server obj (encode_slot new_value))
+    objs entries;
+  Server_lib.log_operation t.server tid ~op:"adjust"
+    ~undo_arg:(encode_adjustment (List.map (fun (i, old_v, _) -> (i, old_v)) entries))
+    ~redo_arg:(encode_adjustment (List.map (fun (i, _, new_v) -> (i, new_v)) entries))
+    ~objs;
+  List.iter (fun obj -> Server_lib.unpin_object t.server obj) objs
+
+let deposit t tid i amount =
+  Server_lib.enter_operation t.server tid;
+  check_range t i;
+  let obj = account_obj t i in
+  Server_lib.lock_object t.server tid obj Mode.Write;
+  let old_value = decode_slot (Server_lib.read_object t.server obj) in
+  apply_adjustment t tid [ (i, old_value, old_value + amount) ]
+
+let transfer t tid ~from_ ~to_ amount =
+  Server_lib.enter_operation t.server tid;
+  check_range t from_;
+  check_range t to_;
+  if from_ = to_ then raise (Errors.Server_error "SameAccount");
+  (* lock in index order to avoid deadlocks between transfers *)
+  let first = min from_ to_ and second = max from_ to_ in
+  Server_lib.lock_object t.server tid (account_obj t first) Mode.Write;
+  Server_lib.lock_object t.server tid (account_obj t second) Mode.Write;
+  let from_balance = decode_slot (Server_lib.read_object t.server (account_obj t from_)) in
+  let to_balance = decode_slot (Server_lib.read_object t.server (account_obj t to_)) in
+  if from_balance < amount then raise (Errors.Server_error "InsufficientFunds");
+  (* one multi-page operation record covers both balances *)
+  apply_adjustment t tid
+    [
+      (from_, from_balance, from_balance - amount);
+      (to_, to_balance, to_balance + amount);
+    ]
+
+(* Commuting blind addition under the type-specific "credit" mode: the
+   record carries a delta, so concurrent credits by different
+   transactions replay correctly in any serialization. The sequence-
+   number gate guarantees each delta is applied exactly once per page
+   during the redo pass. *)
+let credit t tid i amount =
+  Server_lib.enter_operation t.server tid;
+  check_range t i;
+  let obj = account_obj t i in
+  Server_lib.lock_object t.server tid obj (Mode.Typed "credit");
+  Server_lib.pin_object t.server obj;
+  let balance = decode_slot (Server_lib.read_object t.server obj) in
+  Server_lib.write_object t.server obj (encode_slot (balance + amount));
+  Server_lib.log_operation t.server tid ~op:"credit"
+    ~undo_arg:(encode_adjustment [ (i, -amount) ])
+    ~redo_arg:(encode_adjustment [ (i, amount) ])
+    ~objs:[ obj ];
+  Server_lib.unpin_object t.server obj
+
+(* Recovery-time redo/undo. "adjust" records carry absolute balances;
+   "credit" records carry deltas. Both run outside any transaction,
+   straight against the mapped segment. *)
+let install_handlers t =
+  let write_absolute ~arg =
+    List.iter
+      (fun (i, v) ->
+        let obj = account_obj t i in
+        Server_lib.pin_object t.server obj;
+        Server_lib.write_object t.server obj (encode_slot v);
+        Server_lib.unpin_object t.server obj)
+      (decode_adjustment arg)
+  in
+  let apply_delta ~arg =
+    List.iter
+      (fun (i, d) ->
+        let obj = account_obj t i in
+        Server_lib.pin_object t.server obj;
+        let v = decode_slot (Server_lib.read_object t.server obj) in
+        Server_lib.write_object t.server obj (encode_slot (v + d));
+        Server_lib.unpin_object t.server obj)
+      (decode_adjustment arg)
+  in
+  Server_lib.register_operation t.server ~op:"adjust" ~redo:write_absolute
+    ~undo:write_absolute;
+  Server_lib.register_operation t.server ~op:"credit" ~redo:apply_delta
+    ~undo:apply_delta
+
+(* RPC plumbing ------------------------------------------------------------ *)
+
+let encode_int v =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w v;
+  Codec.Writer.contents w
+
+let encode_int2 a b =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w a;
+  Codec.Writer.int w b;
+  Codec.Writer.contents w
+
+let encode_int3 a b c =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w a;
+  Codec.Writer.int w b;
+  Codec.Writer.int w c;
+  Codec.Writer.contents w
+
+let dispatch t ~tid ~op ~arg =
+  let r = Codec.Reader.of_string arg in
+  match op with
+  | "balance" -> encode_int (balance t tid (Codec.Reader.int r))
+  | "deposit" ->
+      let i = Codec.Reader.int r in
+      let amount = Codec.Reader.int r in
+      deposit t tid i amount;
+      ""
+  | "credit" ->
+      let i = Codec.Reader.int r in
+      let amount = Codec.Reader.int r in
+      credit t tid i amount;
+      ""
+  | "transfer" ->
+      let from_ = Codec.Reader.int r in
+      let to_ = Codec.Reader.int r in
+      let amount = Codec.Reader.int r in
+      transfer t tid ~from_ ~to_ amount;
+      ""
+  | other -> raise (Errors.Server_error ("accounts: unknown op " ^ other))
+
+(* "credit" commutes with itself and nothing else *)
+let compatible = Mode.with_typed [ ("credit", "credit") ]
+
+let create env ~name ~segment ~accounts () =
+  let pages = (accounts + slots_per_page - 1) / slots_per_page in
+  let server = Server_lib.create env ~name ~segment ~pages ~compatible () in
+  let t = { server; n_accounts = accounts } in
+  install_handlers t;
+  Server_lib.accept_requests server (dispatch t);
+  Server_lib.register_name server ~name ~object_id:"accounts";
+  t
+
+let call_balance rpc ~dest ~server tid i =
+  Codec.Reader.int
+    (Codec.Reader.of_string
+       (Rpc.call rpc ~dest ~server ~tid ~op:"balance" ~arg:(encode_int i)))
+
+let call_deposit rpc ~dest ~server tid i amount =
+  ignore (Rpc.call rpc ~dest ~server ~tid ~op:"deposit" ~arg:(encode_int2 i amount))
+
+let call_transfer rpc ~dest ~server tid ~from_ ~to_ amount =
+  ignore
+    (Rpc.call rpc ~dest ~server ~tid ~op:"transfer"
+       ~arg:(encode_int3 from_ to_ amount))

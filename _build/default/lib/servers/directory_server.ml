@@ -1,0 +1,98 @@
+open Tabs_core
+
+type t = { primary_tree : Btree_server.t; index_tree : Btree_server.t }
+
+type entry = { primary : string; secondary : string; payload : string }
+
+(* primary-tree value: secondary key and payload, NUL-separated; the
+   B-tree bounds total value size, so payload + secondary must fit its
+   31-byte slot *)
+let encode_record ~secondary ~payload =
+  if String.contains secondary '\000' || String.contains payload '\000' then
+    raise (Errors.Server_error "NulByteInField");
+  let v = secondary ^ "\000" ^ payload in
+  if String.length v > Btree_server.max_value_len then
+    raise (Errors.Server_error "RecordTooLarge");
+  v
+
+let decode_record v =
+  match String.index_opt v '\000' with
+  | None -> raise (Errors.Server_error "CorruptRecord")
+  | Some i ->
+      ( String.sub v 0 i,
+        String.sub v (i + 1) (String.length v - i - 1) )
+
+let create env ~name ~primary_segment ~index_segment () =
+  let primary_tree =
+    Btree_server.create env ~name:(name ^ ".primary") ~segment:primary_segment ()
+  in
+  let index_tree =
+    Btree_server.create env ~name:(name ^ ".index") ~segment:index_segment ()
+  in
+  { primary_tree; index_tree }
+
+let find t tid ~primary =
+  match Btree_server.lookup t.primary_tree tid ~key:primary with
+  | None -> None
+  | Some v ->
+      let secondary, payload = decode_record v in
+      Some { primary; secondary; payload }
+
+let find_by_secondary t tid ~secondary =
+  match Btree_server.lookup t.index_tree tid ~key:secondary with
+  | None -> None
+  | Some primary -> find t tid ~primary
+
+let add t tid entry =
+  let encoded =
+    encode_record ~secondary:entry.secondary ~payload:entry.payload
+  in
+  if Btree_server.lookup t.primary_tree tid ~key:entry.primary <> None then
+    raise (Errors.Server_error "DuplicateKey");
+  if Btree_server.lookup t.index_tree tid ~key:entry.secondary <> None then
+    raise (Errors.Server_error "DuplicateKey");
+  (* both trees change inside the caller's transaction: the index can
+     never disagree with the primary data *)
+  Btree_server.insert t.primary_tree tid ~key:entry.primary ~value:encoded;
+  Btree_server.insert t.index_tree tid ~key:entry.secondary ~value:entry.primary
+
+let modify t tid ~primary ~payload =
+  match find t tid ~primary with
+  | None -> raise (Errors.Server_error "NotFound")
+  | Some old ->
+      Btree_server.insert t.primary_tree tid ~key:primary
+        ~value:(encode_record ~secondary:old.secondary ~payload)
+
+let remove t tid ~primary =
+  match find t tid ~primary with
+  | None -> false
+  | Some old ->
+      ignore (Btree_server.delete t.primary_tree tid ~key:primary);
+      ignore (Btree_server.delete t.index_tree tid ~key:old.secondary);
+      true
+
+let entries t tid =
+  List.map
+    (fun (primary, v) ->
+      let secondary, payload = decode_record v in
+      { primary; secondary; payload })
+    (Btree_server.entries t.primary_tree tid)
+
+let check_consistency t tid =
+  let primaries = entries t tid in
+  let index = Btree_server.entries t.index_tree tid in
+  if List.length primaries <> List.length index then
+    failwith "directory: index size differs from primary tree";
+  List.iter
+    (fun e ->
+      match Btree_server.lookup t.index_tree tid ~key:e.secondary with
+      | Some p when String.equal p e.primary -> ()
+      | Some _ -> failwith "directory: index points at wrong primary"
+      | None -> failwith "directory: entry missing from index")
+    primaries;
+  List.iter
+    (fun (secondary, primary) ->
+      match find t tid ~primary with
+      | Some e when String.equal e.secondary secondary -> ()
+      | Some _ | None -> failwith "directory: dangling index record")
+    index

@@ -1,0 +1,55 @@
+(** A multi-key directory server (Section 4.4).
+
+    "The B-tree server maintains arbitrary collections of directory
+    entries ... Indices on non-primary keys are implemented as separate
+    B-trees, each of which points to the primary key B-tree's leaves."
+
+    This server composes two {!Btree_server} instances inside one data
+    server process: a primary tree mapping primary key → record, and a
+    secondary-index tree mapping secondary key → primary key. Both are
+    updated inside the caller's transaction, so the index can never
+    disagree with the primary data across aborts or crashes — the
+    invariant-maintenance argument of Section 2.2, demonstrated on the
+    server's own data structures.
+
+    A directory entry is (primary key, secondary key, payload); lookups
+    are by either key. Secondary keys are unique in this implementation
+    (a directory of machines by name with an index by address, say). *)
+
+type t
+
+type entry = { primary : string; secondary : string; payload : string }
+
+val create :
+  Tabs_core.Server_lib.env ->
+  name:string ->
+  primary_segment:int ->
+  index_segment:int ->
+  unit ->
+  t
+
+(** [add t tid entry] inserts; raises
+    [Tabs_core.Errors.Server_error "DuplicateKey"] if either key is
+    already bound. *)
+val add : t -> Tabs_wal.Tid.t -> entry -> unit
+
+(** [modify t tid ~primary ~payload] replaces the payload. Raises
+    [Server_error "NotFound"] if absent. *)
+val modify : t -> Tabs_wal.Tid.t -> primary:string -> payload:string -> unit
+
+(** [remove t tid ~primary] deletes the entry and its index record;
+    false if absent. *)
+val remove : t -> Tabs_wal.Tid.t -> primary:string -> bool
+
+(** [find t tid ~primary] — lookup by primary key. *)
+val find : t -> Tabs_wal.Tid.t -> primary:string -> entry option
+
+(** [find_by_secondary t tid ~secondary] — lookup through the index. *)
+val find_by_secondary : t -> Tabs_wal.Tid.t -> secondary:string -> entry option
+
+(** [entries t tid] — all entries in primary-key order. *)
+val entries : t -> Tabs_wal.Tid.t -> entry list
+
+(** [check_consistency t tid] verifies that the secondary index and the
+    primary tree agree exactly; raises [Failure] otherwise. *)
+val check_consistency : t -> Tabs_wal.Tid.t -> unit

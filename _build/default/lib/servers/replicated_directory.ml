@@ -1,0 +1,101 @@
+open Tabs_core
+
+type replica = { node : int; server : string; votes : int }
+
+type t = {
+  rpc : Rpc.registry;
+  replicas : replica list;
+  read_quorum : int;
+  write_quorum : int;
+}
+
+let create ~rpc ~replicas ~read_quorum ~write_quorum =
+  let total = List.fold_left (fun acc r -> acc + r.votes) 0 replicas in
+  if read_quorum + write_quorum <= total then
+    invalid_arg "Replicated_directory: r + w must exceed the vote total";
+  if 2 * write_quorum <= total then
+    invalid_arg "Replicated_directory: w must be a majority";
+  if read_quorum <= 0 || write_quorum <= 0 then
+    invalid_arg "Replicated_directory: quorums must be positive";
+  { rpc; replicas; read_quorum; write_quorum }
+
+(* Representative value encoding: version (8 bytes), flags (1 byte:
+   1 = tombstone), payload (the rest). *)
+let encode_version ~version ~deleted payload =
+  let b = Buffer.create (9 + String.length payload) in
+  let v = Bytes.create 8 in
+  Bytes.set_int64_le v 0 (Int64.of_int version);
+  Buffer.add_bytes b v;
+  Buffer.add_char b (if deleted then '\001' else '\000');
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_version s =
+  let version = Int64.to_int (String.get_int64_le s 0) in
+  let deleted = s.[8] = '\001' in
+  let payload = String.sub s 9 (String.length s - 9) in
+  (version, deleted, payload)
+
+(* Poll representatives in order, collecting responses until the quorum
+   is met. Unresponsive or crashed representatives are skipped — that
+   is the availability the voting scheme buys. *)
+let gather_reads t tid ~key =
+  let rec go replicas votes acc =
+    if votes >= t.read_quorum then acc
+    else
+      match replicas with
+      | [] -> raise (Errors.Server_error "NoQuorum")
+      | r :: rest -> (
+          match
+            Btree_server.call_lookup t.rpc ~dest:r.node ~server:r.server tid
+              ~key
+          with
+          | reply -> go rest (votes + r.votes) ((r, reply) :: acc)
+          | exception Rpc.Rpc_timeout _ -> go rest votes acc)
+  in
+  go t.replicas 0 []
+
+let winning_entry reads =
+  List.fold_left
+    (fun best (_, reply) ->
+      match reply with
+      | None -> best
+      | Some encoded ->
+          let version, deleted, payload = decode_version encoded in
+          (match best with
+          | Some (v, _, _) when v >= version -> best
+          | Some _ | None -> Some (version, deleted, payload)))
+    None reads
+
+let lookup t tid ~key =
+  match winning_entry (gather_reads t tid ~key) with
+  | Some (_, false, payload) -> Some payload
+  | Some (_, true, _) | None -> None
+
+let entry_version t tid ~key =
+  match winning_entry (gather_reads t tid ~key) with
+  | Some (v, _, _) -> v
+  | None -> 0
+
+let write_quorum_put t tid ~key encoded =
+  let rec go replicas votes =
+    if votes < t.write_quorum then
+      match replicas with
+      | [] -> raise (Errors.Server_error "NoQuorum")
+      | r :: rest -> (
+          match
+            Btree_server.call_insert t.rpc ~dest:r.node ~server:r.server tid
+              ~key ~value:encoded
+          with
+          | () -> go rest (votes + r.votes)
+          | exception Rpc.Rpc_timeout _ -> go rest votes)
+  in
+  go t.replicas 0
+
+let update t tid ~key ~value =
+  let version = 1 + entry_version t tid ~key in
+  write_quorum_put t tid ~key (encode_version ~version ~deleted:false value)
+
+let remove t tid ~key =
+  let version = 1 + entry_version t tid ~key in
+  write_quorum_put t tid ~key (encode_version ~version ~deleted:true "")

@@ -1,0 +1,49 @@
+(** The replicated directory object (Section 4.5).
+
+    Provides an abstraction identical to a conventional directory while
+    storing its data in multiple {e directory representative} servers on
+    different nodes, coordinated by a variation of Gifford's weighted
+    voting (the Daniels-Spector replicated-directory algorithm). Each
+    representative stores entries in a B-tree server together with a
+    version number; the client-side coordination module — this module,
+    linked with the client program as in the paper — gathers a read
+    quorum to find the latest version and writes a new version to a
+    write quorum inside the caller's transaction, so distributed
+    commitment (two-phase commit across the representatives' nodes)
+    keeps the representatives mutually consistent.
+
+    With votes r + w > total, any read quorum intersects any write
+    quorum; with 3 single-vote representatives and r = w = 2, one node
+    may be down and the directory stays available — the configuration
+    the paper tested. *)
+
+type replica = { node : int; server : string; votes : int }
+
+type t
+
+(** [create ~rpc ~replicas ~read_quorum ~write_quorum] — quorums are in
+    votes. Raises [Invalid_argument] unless r + w exceeds the vote
+    total and w is a majority. *)
+val create :
+  rpc:Tabs_core.Rpc.registry ->
+  replicas:replica list ->
+  read_quorum:int ->
+  write_quorum:int ->
+  t
+
+(** [update t tid ~key ~value] writes the entry at a fresh version to a
+    write quorum. Raises [Tabs_core.Errors.Server_error
+    "NoQuorum"] when too few representatives respond. *)
+val update : t -> Tabs_wal.Tid.t -> key:string -> value:string -> unit
+
+(** [lookup t tid ~key] reads from a read quorum and returns the
+    highest-version value. *)
+val lookup : t -> Tabs_wal.Tid.t -> key:string -> string option
+
+(** [remove t tid ~key] writes a deletion tombstone at a fresh
+    version. *)
+val remove : t -> Tabs_wal.Tid.t -> key:string -> unit
+
+(** [entry_version t tid ~key] — the winning version number, 0 when the
+    key was never written (tests and repair tooling). *)
+val entry_version : t -> Tabs_wal.Tid.t -> key:string -> int

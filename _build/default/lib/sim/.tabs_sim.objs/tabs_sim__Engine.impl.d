@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Cost_model Effect Hashtbl Heap List Metrics

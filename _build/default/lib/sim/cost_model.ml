@@ -1,0 +1,88 @@
+type primitive =
+  | Data_server_call
+  | Inter_node_data_server_call
+  | Datagram
+  | Small_contiguous_message
+  | Large_contiguous_message
+  | Pointer_message
+  | Random_paged_io
+  | Sequential_read
+  | Stable_storage_write
+
+let all =
+  [
+    Data_server_call;
+    Inter_node_data_server_call;
+    Datagram;
+    Small_contiguous_message;
+    Large_contiguous_message;
+    Pointer_message;
+    Random_paged_io;
+    Sequential_read;
+    Stable_storage_write;
+  ]
+
+let index = function
+  | Data_server_call -> 0
+  | Inter_node_data_server_call -> 1
+  | Datagram -> 2
+  | Small_contiguous_message -> 3
+  | Large_contiguous_message -> 4
+  | Pointer_message -> 5
+  | Random_paged_io -> 6
+  | Sequential_read -> 7
+  | Stable_storage_write -> 8
+
+let count = 9
+
+let name = function
+  | Data_server_call -> "Data Server Call"
+  | Inter_node_data_server_call -> "Inter-Node Data Server Call"
+  | Datagram -> "Datagram"
+  | Small_contiguous_message -> "Small Contiguous Message"
+  | Large_contiguous_message -> "Large Contiguous Message"
+  | Pointer_message -> "Pointer Message"
+  | Random_paged_io -> "Random Access Paged I/O"
+  | Sequential_read -> "Sequential Read"
+  | Stable_storage_write -> "Stable Storage Write"
+
+type t = int array
+
+let cost t p = t.(index p)
+
+let make assoc =
+  let t = Array.make count 0 in
+  List.iter (fun (p, c) -> t.(index p) <- c) assoc;
+  t
+
+(* Table 5-1, milliseconds -> microseconds. *)
+let measured =
+  make
+    [
+      (Data_server_call, 26_100);
+      (Inter_node_data_server_call, 89_000);
+      (Datagram, 25_000);
+      (Small_contiguous_message, 3_000);
+      (Large_contiguous_message, 4_400);
+      (Pointer_message, 18_300);
+      (Random_paged_io, 32_000);
+      (Sequential_read, 16_000);
+      (Stable_storage_write, 79_000);
+    ]
+
+(* Table 5-5. *)
+let achievable =
+  make
+    [
+      (Data_server_call, 2_500);
+      (Inter_node_data_server_call, 9_000);
+      (Datagram, 2_000);
+      (Small_contiguous_message, 1_000);
+      (Large_contiguous_message, 1_250);
+      (Pointer_message, 15_000);
+      (Random_paged_io, 32_000);
+      (Sequential_read, 10_000);
+      (Stable_storage_write, 32_000);
+    ]
+
+let to_alist t = List.map (fun p -> (p, cost t p)) all

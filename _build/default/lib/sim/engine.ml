@@ -1,0 +1,225 @@
+exception Killed
+
+type t = {
+  mutable now : int;
+  events : (unit -> unit) Heap.t;
+  metrics : Metrics.t;
+  mutable model : Cost_model.t;
+  cpu : (string, int ref) Hashtbl.t;
+  epochs : (int, int) Hashtbl.t;
+  mutable next_fiber : int;
+}
+
+type fiber = { id : int; node : int option; epoch : int; engine : t }
+
+let create ?(cost_model = Cost_model.measured) () =
+  {
+    now = 0;
+    events = Heap.create ();
+    metrics = Metrics.create ();
+    model = cost_model;
+    cpu = Hashtbl.create 8;
+    epochs = Hashtbl.create 8;
+    next_fiber = 0;
+  }
+
+let now t = t.now
+
+let set_cost_model t m = t.model <- m
+
+let cost_model t = t.model
+
+let metrics t = t.metrics
+
+let at t ~delay fn =
+  assert (delay >= 0);
+  Heap.push t.events ~key:(t.now + delay) fn
+
+let node_epoch t node =
+  match Hashtbl.find_opt t.epochs node with Some e -> e | None -> 0
+
+let crash_node t node = Hashtbl.replace t.epochs node (node_epoch t node + 1)
+
+let fiber_dead f =
+  match f.node with
+  | None -> false
+  | Some node -> node_epoch f.engine node <> f.epoch
+
+(* Effects: [Suspend reg] hands the fiber's continuation to [reg], which
+   stores it (in a wait queue or a timer event) for later resumption.
+   [Get_fiber] retrieves the fiber's own identity for scheduling. *)
+type _ Effect.t +=
+  | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
+  | Get_fiber : fiber Effect.t
+
+let resume (fiber : fiber) k v =
+  if fiber_dead fiber then
+    try Effect.Deep.discontinue k Killed with Killed -> ()
+  else Effect.Deep.continue k v
+
+let spawn t ?node fn =
+  let fiber =
+    {
+      id = t.next_fiber;
+      node;
+      epoch = (match node with None -> 0 | Some n -> node_epoch t n);
+      engine = t;
+    }
+  in
+  t.next_fiber <- t.next_fiber + 1;
+  let handler =
+    {
+      Effect.Deep.retc = (fun () -> ());
+      exnc = (fun e -> match e with Killed -> () | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend reg ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  reg k)
+          | Get_fiber ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k fiber)
+          | _ -> None);
+    }
+  in
+  at t ~delay:0 (fun () ->
+      if not (fiber_dead fiber) then Effect.Deep.match_with fn () handler);
+  fiber
+
+let run t =
+  let processed = ref 0 in
+  let rec loop () =
+    if not (Heap.is_empty t.events) then begin
+      let time, fn = Heap.pop_min t.events in
+      assert (time >= t.now);
+      t.now <- time;
+      incr processed;
+      fn ();
+      loop ()
+    end
+  in
+  loop ();
+  !processed
+
+let run_until t ~time =
+  let rec loop () =
+    match Heap.peek_min_key t.events with
+    | Some key when key <= time ->
+        let event_time, fn = Heap.pop_min t.events in
+        t.now <- event_time;
+        fn ();
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.now < time then t.now <- time
+
+let self () = Effect.perform Get_fiber
+
+let fiber_node () = (self ()).node
+
+let delay micros =
+  if micros < 0 then invalid_arg "Engine.delay: negative";
+  let fiber = self () in
+  let engine = fiber.engine in
+  Effect.perform
+    (Suspend
+       (fun k -> at engine ~delay:micros (fun () -> resume fiber k ())))
+
+let record_only t prim = Metrics.record t.metrics prim
+
+let charge t prim =
+  record_only t prim;
+  delay (Cost_model.cost t.model prim)
+
+let charge_fraction t prim ~num ~den =
+  Metrics.record_weighted t.metrics prim ~num ~den;
+  delay (Cost_model.cost t.model prim * num / den)
+
+let cpu_counter t process =
+  match Hashtbl.find_opt t.cpu process with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.cpu process r;
+      r
+
+let note_cpu t ~process micros =
+  let counter = cpu_counter t process in
+  counter := !counter + micros
+
+let charge_cpu t ~process micros =
+  note_cpu t ~process micros;
+  delay micros
+
+let cpu_time t ~process = !(cpu_counter t process)
+
+let reset_cpu t = Hashtbl.iter (fun _ r -> r := 0) t.cpu
+
+module Waitq = struct
+  type 'a waiter = { state : bool ref; wake : 'a option -> unit }
+  (* [state] is true once the waiter has been woken or timed out; stale
+     entries are skipped by [signal]. *)
+
+  type 'a t = { mutable queue : 'a waiter list }
+
+  let create () = { queue = [] }
+
+  let push q w = q.queue <- q.queue @ [ w ]
+
+  let wait q =
+    let fiber = self () in
+    match
+      Effect.perform
+        (Suspend
+           (fun k ->
+             let state = ref false in
+             let wake v =
+               if not !state then begin
+                 state := true;
+                 at fiber.engine ~delay:0 (fun () -> resume fiber k v)
+               end
+             in
+             push q { state; wake }))
+    with
+    | Some v -> v
+    | None -> assert false (* no timer can fire for a plain wait *)
+
+  let wait_timeout q ~engine ~timeout =
+    let fiber = self () in
+    Effect.perform
+      (Suspend
+         (fun k ->
+           let state = ref false in
+           let wake v =
+             if not !state then begin
+               state := true;
+               at fiber.engine ~delay:0 (fun () -> resume fiber k v)
+             end
+           in
+           push q { state; wake };
+           at engine ~delay:timeout (fun () -> wake None)))
+
+  let rec signal q ~engine v =
+    match q.queue with
+    | [] -> false
+    | w :: rest ->
+        q.queue <- rest;
+        if !(w.state) then signal q ~engine v
+        else begin
+          w.wake (Some v);
+          true
+        end
+
+  let signal_all q ~engine v =
+    let woken = ref 0 in
+    while signal q ~engine v do
+      incr woken
+    done;
+    !woken
+
+  let waiters q = List.length (List.filter (fun w -> not !(w.state)) q.queue)
+end

@@ -1,0 +1,74 @@
+(* Binary min-heap over (key, seq, value); [seq] makes equal keys FIFO so
+   the engine is deterministic. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = Array.make 64 None; size = 0; next_seq = 0 }
+
+let is_empty t = t.size = 0
+
+let length t = t.size
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.size <- 0
+
+let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let get t i =
+  match t.data.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) None in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~key value =
+  if t.size = Array.length t.data then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.data.(t.size) <- Some { key; seq; value };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let min = get t 0 in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  t.data.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  (min.key, min.value)
+
+let peek_min_key t = if t.size = 0 then None else Some (get t 0).key

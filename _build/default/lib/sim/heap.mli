@@ -1,0 +1,25 @@
+(** Imperative binary min-heap keyed by integer priority.
+
+    Used as the event queue of the simulation engine; ties are broken by
+    insertion order so that the simulation is deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push t ~key v] inserts [v] with priority [key]. *)
+val push : 'a t -> key:int -> 'a -> unit
+
+(** [pop_min t] removes and returns the minimum-key element, earliest
+    inserted first among equal keys. Raises [Not_found] when empty. *)
+val pop_min : 'a t -> int * 'a
+
+(** [peek_min_key t] is the smallest key, if any. *)
+val peek_min_key : 'a t -> int option
+
+(** [clear t] removes every element. *)
+val clear : 'a t -> unit

@@ -1,0 +1,49 @@
+(* Weights are stored in units of 1/1000 of an execution so that the
+   paper's fractional primitive counts (halves, and the measured 0.86
+   page I/Os per transaction) can be represented exactly enough. *)
+
+type t = int array
+
+let scale = 1000
+
+let size = List.length Cost_model.all
+
+let idx p =
+  let rec find i = function
+    | [] -> assert false
+    | q :: rest -> if q = p then i else find (i + 1) rest
+  in
+  find 0 Cost_model.all
+
+let create () = Array.make size 0
+
+let record_weighted t p ~num ~den =
+  if den <= 0 then invalid_arg "Metrics.record_weighted: den <= 0";
+  t.(idx p) <- t.(idx p) + (scale * num / den)
+
+let record_many t p n = record_weighted t p ~num:n ~den:1
+
+let record t p = record_many t p 1
+
+let count t p = t.(idx p) / scale
+
+let weight t p = float_of_int t.(idx p) /. float_of_int scale
+
+let reset t = Array.fill t 0 size 0
+
+let snapshot t = Array.copy t
+
+let diff ~later ~earlier = Array.init size (fun i -> later.(i) - earlier.(i))
+
+let weighted_cost t model =
+  List.fold_left
+    (fun acc p ->
+      acc + (t.(idx p) * Cost_model.cost model p / scale))
+    0 Cost_model.all
+
+let to_alist t =
+  List.filter_map
+    (fun p ->
+      let n = count t p in
+      if t.(idx p) = 0 then None else Some (p, n))
+    Cost_model.all

@@ -1,0 +1,47 @@
+(** Counters of primitive-operation executions.
+
+    The benchmark harness opens a metrics window around a phase of a
+    transaction (pre-commit or commit) and reads back the per-primitive
+    counts, reproducing the counting methodology of Tables 5-2 and 5-3. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t p] counts one execution of primitive [p]. *)
+val record : t -> Cost_model.primitive -> unit
+
+(** [record_many t p n] counts [n] executions at once. *)
+val record_many : t -> Cost_model.primitive -> int -> unit
+
+(** [record_weighted t p ~num ~den] counts a fractional execution —
+    num/den of one — reproducing the paper's accounting of overlapped
+    work, e.g. the "one-half datagram time" charged for a second
+    parallel Prepare datagram in the three-node commit rows of
+    Table 5-3. Weights accumulate in units of 1/1000. *)
+val record_weighted : t -> Cost_model.primitive -> num:int -> den:int -> unit
+
+(** [count t p] is the number of recorded executions of [p], rounded
+    down when fractional executions were recorded. *)
+val count : t -> Cost_model.primitive -> int
+
+(** [weight t p] is the accumulated execution weight of [p] — the
+    fractional count — as a float. *)
+val weight : t -> Cost_model.primitive -> float
+
+(** [reset t] zeroes every counter. *)
+val reset : t -> unit
+
+(** [snapshot t] is an independent copy of the current counts. *)
+val snapshot : t -> t
+
+(** [diff ~later ~earlier] is the per-primitive difference of counts. *)
+val diff : later:t -> earlier:t -> t
+
+(** [weighted_cost t model] is the sum over primitives of
+    count x latency, in microseconds — the paper's "System Time Predicted
+    by Primitives". *)
+val weighted_cost : t -> Cost_model.t -> int
+
+(** [to_alist t] lists non-zero counts in Table 5-1 order. *)
+val to_alist : t -> (Cost_model.primitive * int) list

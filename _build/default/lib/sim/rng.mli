@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator never consults global randomness: every stochastic
+    choice (fault injection, workload shuffling) draws from an explicitly
+    seeded generator so that runs are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] on
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t ~p] is true with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** [split t] derives an independent generator. *)
+val split : t -> t

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Array Cost_model Engine Hashtbl Page Tabs_sim

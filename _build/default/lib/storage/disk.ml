@@ -1,0 +1,74 @@
+open Tabs_sim
+
+type segment_id = int
+
+type page_id = { segment : segment_id; page : int }
+
+type sector = { mutable data : Page.t; mutable seqno : int }
+
+type segment = { mutable sectors : sector array }
+
+type t = {
+  engine : Engine.t;
+  segments : (segment_id, segment) Hashtbl.t;
+  mutable writes : int;
+}
+
+let create engine = { engine; segments = Hashtbl.create 16; writes = 0 }
+
+let fresh_sector () = { data = Page.zero (); seqno = 0 }
+
+let ensure_segment t seg ~pages =
+  match Hashtbl.find_opt t.segments seg with
+  | None ->
+      Hashtbl.add t.segments seg
+        { sectors = Array.init pages (fun _ -> fresh_sector ()) }
+  | Some s ->
+      let old = Array.length s.sectors in
+      if pages > old then begin
+        let sectors = Array.init pages (fun i ->
+            if i < old then s.sectors.(i) else fresh_sector ())
+        in
+        s.sectors <- sectors
+      end
+
+let segment_pages t seg =
+  match Hashtbl.find_opt t.segments seg with
+  | None -> 0
+  | Some s -> Array.length s.sectors
+
+let sector t pid =
+  match Hashtbl.find_opt t.segments pid.segment with
+  | None -> invalid_arg "Disk: unknown segment"
+  | Some s ->
+      if pid.page < 0 || pid.page >= Array.length s.sectors then
+        invalid_arg "Disk: page out of segment bounds";
+      s.sectors.(pid.page)
+
+let read t pid ~access =
+  let prim =
+    match access with
+    | `Random -> Cost_model.Random_paged_io
+    | `Sequential -> Cost_model.Sequential_read
+  in
+  Engine.charge t.engine prim;
+  Page.copy (sector t pid).data
+
+let write t pid page ~seqno =
+  Engine.charge t.engine Cost_model.Random_paged_io;
+  let s = sector t pid in
+  s.data <- Page.copy page;
+  s.seqno <- seqno;
+  t.writes <- t.writes + 1
+
+let read_nocharge t pid = Page.copy (sector t pid).data
+
+let write_nocharge t pid page ~seqno =
+  let s = sector t pid in
+  s.data <- Page.copy page;
+  s.seqno <- seqno;
+  t.writes <- t.writes + 1
+
+let seqno t pid = (sector t pid).seqno
+
+let pages_written t = t.writes

@@ -1,0 +1,30 @@
+(** Fixed-size pages, the unit of disk transfer and of value logging.
+
+    Accent pages are 512 bytes (Section 5.1); a value log record holds at
+    most one page of an object's representation (Section 2.1.3). *)
+
+(** Bytes per page. *)
+val size : int
+
+type t = bytes
+
+(** A fresh zeroed page. *)
+val zero : unit -> t
+
+val copy : t -> t
+
+(** [blit_string s t ~off] writes [s] into page [t] at byte offset
+    [off]. Raises [Invalid_argument] if the write would overflow the
+    page. *)
+val blit_string : string -> t -> off:int -> unit
+
+(** [sub t ~off ~len] reads [len] bytes at [off] as a string. *)
+val sub : t -> off:int -> len:int -> string
+
+(** [get_int t ~off] / [set_int t ~off v] read and write a 63-bit OCaml
+    integer stored in 8 bytes little-endian at byte offset [off]. *)
+val get_int : t -> off:int -> int
+
+val set_int : t -> off:int -> int -> unit
+
+val equal : t -> t -> bool

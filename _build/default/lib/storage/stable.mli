@@ -1,0 +1,40 @@
+(** Stable storage: the append-only home of the log.
+
+    Survives all failures we model (the paper's Perqs had one disk, so
+    their log was merely non-volatile; we implement the stable contract
+    of Section 2.1.3 — like the paper, media failure is out of scope).
+
+    Records are opaque strings; positions are dense indices that survive
+    prefix truncation (reclamation). Cost accounting for forces lives in
+    the log manager, not here, because the paper charges one
+    stable-storage write per forced log *page*, with group commit batching
+    multiple records. *)
+
+type t
+
+val create : unit -> t
+
+(** [append t record] appends and returns the record's position. *)
+val append : t -> string -> int
+
+(** [read t pos] returns the record at [pos]. Raises [Not_found] if the
+    position was truncated or never written. *)
+val read : t -> int -> string
+
+(** [first t] / [next t] delimit the live range: positions
+    [first <= p < next] are readable. *)
+val first : t -> int
+
+val next : t -> int
+
+(** [truncate_prefix t ~keep_from] discards records before [keep_from]
+    (log reclamation). *)
+val truncate_prefix : t -> keep_from:int -> unit
+
+(** [iter t ~f] applies [f pos record] over live records in append
+    order. *)
+val iter : t -> f:(int -> string -> unit) -> unit
+
+(** [total_bytes t] is the live log size in bytes, used by the
+    reclamation policy. *)
+val total_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/tm/txn_mgr.ml: Comm_mgr Cost_model Engine Hashtbl List Log_manager Metrics Network Option Overheads Record Recovery_mgr Tabs_net Tabs_recovery Tabs_sim Tabs_wal Tid

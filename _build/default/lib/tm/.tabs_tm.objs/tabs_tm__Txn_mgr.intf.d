@@ -1,0 +1,1 @@
+lib/tm/txn_mgr.mli: Tabs_net Tabs_recovery Tabs_sim Tabs_wal

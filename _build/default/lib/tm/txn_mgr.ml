@@ -1,0 +1,531 @@
+open Tabs_sim
+open Tabs_wal
+open Tabs_net
+open Tabs_recovery
+
+type outcome = Committed | Aborted
+
+type vote = Yes | No | Read_only
+
+type Network.payload +=
+  | Tm_prepare of Tid.t
+  | Tm_vote of Tid.t * vote
+  | Tm_commit of Tid.t
+  | Tm_abort of Tid.t
+  | Tm_ack of Tid.t
+  | Tm_status_query of Tid.t
+  | Tm_status_reply of Tid.t * outcome
+
+type server_callbacks = {
+  on_prepare : Tid.t -> bool;
+  on_outcome : Tid.t -> outcome -> unit;
+  on_subtxn_commit : Tid.t -> unit;
+  on_subtxn_abort : Tid.t -> unit;
+}
+
+(* Coordinator-side bookkeeping for one phase of the tree protocol:
+   which children still owe a message, and whether anything went
+   wrong. *)
+type gather = {
+  mutable awaiting : int list;
+  mutable any_no : bool;
+  mutable all_read_only : bool;
+  signal : unit Engine.Waitq.t;
+}
+
+type participant = {
+  p_tid : Tid.t;
+  p_coordinator : int;
+  mutable p_resolved : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  node_id : int;
+  rm : Recovery_mgr.t;
+  cm : Comm_mgr.t;
+  vote_timeout : int;
+  read_only_optimization : bool;
+  checkpoint_interval : int;
+      (* commits between the checkpoints this TM asks of the RM *)
+  mutable commits_since_checkpoint : int;
+  mutable next_seq : int;
+  servers : (string, server_callbacks) Hashtbl.t;
+  joined : (Tid.t, string list ref) Hashtbl.t; (* top tid -> local servers *)
+  sub_counters : (Tid.t, int ref) Hashtbl.t;
+  aborted : (Tid.t, unit) Hashtbl.t; (* tids (incl. subtxns) locally known aborted *)
+  outcomes : (Tid.t, outcome) Hashtbl.t; (* top tids with known verdicts *)
+  gathers : (Tid.t, gather) Hashtbl.t; (* vote collection in flight *)
+  acks : (Tid.t, gather) Hashtbl.t; (* ack collection in flight *)
+  participants : (Tid.t, participant) Hashtbl.t; (* prepared, in doubt *)
+}
+
+let node t = t.node_id
+
+let register_server t ~name callbacks = Hashtbl.replace t.servers name callbacks
+
+let small t = Engine.charge t.engine Cost_model.Small_contiguous_message
+
+let joined_servers t tid =
+  match Hashtbl.find_opt t.joined (Tid.top_level tid) with
+  | Some names -> !names
+  | None -> []
+
+let callbacks t name = Hashtbl.find t.servers name
+
+(* Identifier allocation ---------------------------------------------- *)
+
+let begin_txn t =
+  (* request + reply between application and Transaction Manager *)
+  small t;
+  let tid = Tid.top ~node:t.node_id ~seq:t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  Comm_mgr.note_local_root t.cm tid;
+  ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_begin tid));
+  small t;
+  tid
+
+let begin_subtxn t parent =
+  small t;
+  let counter =
+    match Hashtbl.find_opt t.sub_counters parent with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add t.sub_counters parent c;
+        c
+  in
+  let tid = Tid.child parent ~index:!counter in
+  incr counter;
+  small t;
+  tid
+
+let join t ~tid ~server =
+  let top = Tid.top_level tid in
+  let names =
+    match Hashtbl.find_opt t.joined top with
+    | Some names -> names
+    | None ->
+        let names = ref [] in
+        Hashtbl.add t.joined top names;
+        names
+  in
+  if not (List.mem server !names) then begin
+    (* the data server's first-operation message to the TM *)
+    small t;
+    names := server :: !names
+  end
+
+let is_aborted t tid =
+  Hashtbl.fold
+    (fun aborted_tid () acc ->
+      acc || Tid.is_ancestor ~ancestor:aborted_tid tid)
+    t.aborted false
+
+let active_txns t =
+  Hashtbl.fold
+    (fun top _ acc ->
+      if Hashtbl.mem t.outcomes top then acc
+      else (top, Log_manager.last_lsn_of (Recovery_mgr.log t.rm) top) :: acc)
+    t.joined []
+
+(* Local undo of a whole family's updates at this node. *)
+let undo_family_local t tid =
+  let log = Recovery_mgr.log t.rm in
+  List.iter
+    (fun member -> Recovery_mgr.abort t.rm ~tid:member)
+    (Log_manager.chained_tids_of_family log tid)
+
+let family_wrote_locally t tid =
+  Log_manager.chained_tids_of_family (Recovery_mgr.log t.rm) tid <> []
+
+let forget t top =
+  Hashtbl.remove t.joined top;
+  Hashtbl.remove t.gathers top;
+  Hashtbl.remove t.acks top;
+  Comm_mgr.forget_txn t.cm top
+
+let notify_local_servers t top outcome =
+  List.iter
+    (fun name ->
+      small t;
+      (callbacks t name).on_outcome top outcome)
+    (joined_servers t top)
+
+(* Phase-one local work: ask every joined server to vote. *)
+let local_votes_ok t top =
+  List.for_all
+    (fun name ->
+      small t;
+      let ok = (callbacks t name).on_prepare top in
+      small t;
+      ok)
+    (joined_servers t top)
+
+(* Vote gathering ------------------------------------------------------ *)
+
+let new_gather () table top children =
+  let g =
+    {
+      awaiting = children;
+      any_no = false;
+      all_read_only = true;
+      signal = Engine.Waitq.create ();
+    }
+  in
+  Hashtbl.replace table top g;
+  g
+
+let gather_note t table top src verdict =
+  match Hashtbl.find_opt table top with
+  | None -> ()
+  | Some g ->
+      if List.mem src g.awaiting then begin
+        g.awaiting <- List.filter (fun n -> n <> src) g.awaiting;
+        (match verdict with
+        | Yes -> g.all_read_only <- false
+        | No ->
+            g.any_no <- true;
+            g.all_read_only <- false
+        | Read_only -> ());
+        if g.awaiting = [] then
+          ignore (Engine.Waitq.signal g.signal ~engine:t.engine ())
+      end
+
+let wait_gather t g =
+  if g.awaiting <> [] then
+    match
+      Engine.Waitq.wait_timeout g.signal ~engine:t.engine ~timeout:t.vote_timeout
+    with
+    | Some () -> ()
+    | None -> g.any_no <- true (* a silent child is presumed crashed *)
+
+(* Outcome distribution down the tree ---------------------------------- *)
+
+let propagate_outcome t top outcome ~to_nodes =
+  match to_nodes with
+  | [] -> ()
+  | nodes ->
+      let payload =
+        match outcome with Committed -> Tm_commit top | Aborted -> Tm_abort top
+      in
+      Comm_mgr.send_datagrams_parallel t.cm ~dests:nodes payload
+
+(* "Checkpoints are performed at intervals determined by the
+   transaction manager or when the system is close to running out of
+   log space" (Section 3.2.2): count commits and periodically ask the
+   Recovery Manager for a checkpoint plus, if needed, reclamation. *)
+let maybe_periodic_checkpoint t =
+  t.commits_since_checkpoint <- t.commits_since_checkpoint + 1;
+  if t.commits_since_checkpoint >= t.checkpoint_interval then begin
+    t.commits_since_checkpoint <- 0;
+    ignore
+      (Engine.spawn t.engine ~node:t.node_id (fun () ->
+           ignore (Recovery_mgr.checkpoint t.rm);
+           ignore (Recovery_mgr.maybe_reclaim t.rm)))
+  end
+
+let record_outcome t top outcome =
+  Hashtbl.replace t.outcomes top outcome;
+  if outcome = Committed then maybe_periodic_checkpoint t
+
+(* Abort of a top-level transaction (local part + propagation). *)
+let abort_top t top ~children =
+  if not (Hashtbl.mem t.outcomes top) then begin
+    record_outcome t top Aborted;
+    Hashtbl.replace t.aborted top ();
+    if family_wrote_locally t top then undo_family_local t top;
+    ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_abort top));
+    notify_local_servers t top Aborted;
+    propagate_outcome t top Aborted ~to_nodes:children
+  end
+
+(* The purely local commit path: no remote spread was recorded. *)
+let commit_local t top =
+  small t;
+  (* commit request *)
+  let wrote = family_wrote_locally t top in
+  Engine.charge_cpu t.engine ~process:"tm"
+    (Overheads.tm_local_readonly + if wrote then Overheads.tm_commit_write else 0);
+  Engine.charge_cpu t.engine ~process:"rm"
+    (Overheads.rm_local_readonly + if wrote then Overheads.rm_commit_write else 0);
+  if not (local_votes_ok t top) then begin
+    abort_top t top ~children:[];
+    forget t top;
+    small t;
+    (* verdict to application *)
+    Aborted
+  end
+  else begin
+    if wrote then begin
+      let lsn = Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top) in
+      Recovery_mgr.force_through t.rm lsn
+    end;
+    record_outcome t top Committed;
+    notify_local_servers t top Committed;
+    forget t top;
+    small t;
+    Committed
+  end
+
+(* Tree two-phase commit, coordinator side (the root). *)
+let commit_distributed t top =
+  small t;
+  let wrote = family_wrote_locally t top in
+  Engine.charge_cpu t.engine ~process:"tm"
+    (Overheads.tm_local_readonly + if wrote then Overheads.tm_commit_write else 0);
+  Engine.charge_cpu t.engine ~process:"rm"
+    (Overheads.rm_local_readonly + if wrote then Overheads.rm_commit_write else 0);
+  let children = Comm_mgr.children_of t.cm top in
+  let g = new_gather () t.gathers top children in
+  Comm_mgr.send_datagrams_parallel t.cm ~dests:children (Tm_prepare top);
+  let local_ok = local_votes_ok t top in
+  wait_gather t g;
+  Hashtbl.remove t.gathers top;
+  if g.any_no || not local_ok then begin
+    abort_top t top ~children;
+    forget t top;
+    small t;
+    Aborted
+  end
+  else if t.read_only_optimization && (not wrote) && g.all_read_only then begin
+    (* Whole tree read-only: one phase suffices; subordinates already
+       released their locks when they voted Read_only. *)
+    record_outcome t top Committed;
+    notify_local_servers t top Committed;
+    forget t top;
+    small t;
+    Committed
+  end
+  else begin
+    let lsn = Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top) in
+    Recovery_mgr.force_through t.rm lsn;
+    record_outcome t top Committed;
+    notify_local_servers t top Committed;
+    (* Second phase goes only to children that held updates. Its span
+       is noted separately: an optimized commit protocol overlaps it
+       with succeeding transactions (Section 5.3), so the improved-
+       architecture projection subtracts it. *)
+    let phase2_start = Engine.now t.engine in
+    let a = new_gather () t.acks top children in
+    propagate_outcome t top Committed ~to_nodes:children;
+    wait_gather t a;
+    Hashtbl.remove t.acks top;
+    ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_end top));
+    Engine.note_cpu t.engine ~process:"phase2"
+      (Engine.now t.engine - phase2_start);
+    forget t top;
+    small t;
+    Committed
+  end
+
+(* Subordinate side ----------------------------------------------------- *)
+
+let start_resolver t top ~coordinator ~delay =
+  ignore
+    (Engine.spawn t.engine ~node:t.node_id (fun () ->
+         (* Queries stop after a while so a simulation can quiesce, but
+            the transaction stays in doubt and its data stays locked --
+            the blocking window of two-phase commit is preserved. *)
+         let rec loop attempts =
+           Engine.delay delay;
+           match Hashtbl.find_opt t.participants top with
+           | None -> () (* resolved meanwhile *)
+           | Some _ when attempts >= 100 -> ()
+           | Some _ ->
+               Comm_mgr.send_datagram t.cm ~dest:coordinator
+                 (Tm_status_query top);
+               loop (attempts + 1)
+         in
+         loop 0))
+
+(* Runs in a datagram-handler fiber when a Prepare arrives from the
+   spanning-tree parent: recursively prepares this node's subtree and
+   votes upward. *)
+let handle_prepare t top ~src =
+  Engine.charge_cpu t.engine ~process:"tm" Overheads.tm_commit_write;
+  let children = Comm_mgr.children_of t.cm top in
+  let g = new_gather () t.gathers top children in
+  Comm_mgr.send_datagrams_parallel t.cm ~dests:children (Tm_prepare top);
+  let local_ok = local_votes_ok t top in
+  wait_gather t g;
+  Hashtbl.remove t.gathers top;
+  let wrote = family_wrote_locally t top in
+  if g.any_no || not local_ok then begin
+    abort_top t top ~children;
+    forget t top;
+    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, No))
+  end
+  else if t.read_only_optimization && (not wrote) && g.all_read_only then begin
+    (* Read-only subtree: release and drop out of phase two. *)
+    record_outcome t top Committed;
+    notify_local_servers t top Committed;
+    forget t top;
+    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, Read_only))
+  end
+  else begin
+    let lsn =
+      Recovery_mgr.append_tm_record t.rm (Record.Txn_prepare (top, src))
+    in
+    Recovery_mgr.force_through t.rm lsn;
+    Hashtbl.replace t.participants top
+      { p_tid = top; p_coordinator = src; p_resolved = false };
+    (* If the coordinator's verdict never arrives we are blocked in
+       doubt; keep asking. The generous first delay keeps queries off
+       the wire in healthy runs. *)
+    start_resolver t top ~coordinator:src ~delay:3_000_000;
+    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, Yes))
+  end
+
+let apply_decided_outcome t top outcome ~ack_to =
+  (* The verdict may reach us in the prepared state (normal phase two),
+     or while still active (a coordinator-initiated abort), or again
+     (duplicate datagram). Only the first arrival is applied. *)
+  (match Hashtbl.find_opt t.participants top with
+  | Some p ->
+      p.p_resolved <- true;
+      Hashtbl.remove t.participants top
+  | None -> ());
+  if Hashtbl.mem t.outcomes top then
+    Option.iter
+      (fun dest -> Comm_mgr.send_datagram t.cm ~dest (Tm_ack top))
+      ack_to
+  else begin
+      (match outcome with
+      | Committed ->
+          ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top))
+      | Aborted ->
+          Hashtbl.replace t.aborted top ();
+          if family_wrote_locally t top then undo_family_local t top;
+          ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_abort top)));
+      record_outcome t top outcome;
+      notify_local_servers t top outcome;
+      (* propagate down the tree before acknowledging upward *)
+      let children = Comm_mgr.children_of t.cm top in
+      let a = new_gather () t.acks top children in
+      propagate_outcome t top outcome ~to_nodes:children;
+      wait_gather t a;
+      Hashtbl.remove t.acks top;
+      forget t top;
+      Option.iter
+        (fun dest -> Comm_mgr.send_datagram t.cm ~dest (Tm_ack top))
+        ack_to
+  end
+
+(* In-doubt resolution: a prepared participant that hears nothing asks
+   its coordinator. Presumed abort: a coordinator with no record of the
+   transaction answers Aborted. *)
+let handle_status_query t top ~src =
+  let reply =
+    match Hashtbl.find_opt t.outcomes top with
+    | Some o -> o
+    | None -> Aborted (* presumed abort *)
+  in
+  Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, reply))
+
+(* Public entry points -------------------------------------------------- *)
+
+let commit t tid =
+  if is_aborted t tid then Aborted
+  else if not (Tid.is_top tid) then begin
+    (* Subtransaction commit: locks pass to the parent; durability
+       awaits the top-level commit. *)
+    small t;
+    List.iter
+      (fun name -> (callbacks t name).on_subtxn_commit tid)
+      (joined_servers t tid);
+    small t;
+    Committed
+  end
+  else if Comm_mgr.involved_remotely t.cm tid then commit_distributed t tid
+  else commit_local t tid
+
+let abort t tid =
+  small t;
+  if Tid.is_top tid then begin
+    let children = Comm_mgr.children_of t.cm tid in
+    abort_top t tid ~children;
+    forget t tid
+  end
+  else begin
+    (* Independent subtransaction abort: undo and release only its
+       subtree; the parent continues. *)
+    Hashtbl.replace t.aborted tid ();
+    let log = Recovery_mgr.log t.rm in
+    let members =
+      List.filter
+        (fun member -> Tid.is_ancestor ~ancestor:tid member)
+        (Log_manager.chained_tids_of_family log tid)
+    in
+    List.iter (fun member -> Recovery_mgr.abort t.rm ~tid:member) members;
+    List.iter
+      (fun name -> (callbacks t name).on_subtxn_abort tid)
+      (joined_servers t tid)
+  end
+
+let in_doubt t =
+  Hashtbl.fold (fun top _ acc -> top :: acc) t.participants []
+  |> List.sort Tid.compare
+
+let outcome_of t tid = Hashtbl.find_opt t.outcomes (Tid.top_level tid)
+
+let recover t (summary : Recovery_mgr.recovery_outcome) =
+  List.iter
+    (fun (tid, status) ->
+      match status with
+      | Recovery_mgr.Committed -> Hashtbl.replace t.outcomes tid Committed
+      | Recovery_mgr.Aborted -> Hashtbl.replace t.outcomes tid Aborted
+      | Recovery_mgr.Prepared _ | Recovery_mgr.Active -> ())
+    (Recovery_mgr.statuses t.rm);
+  List.iter (fun tid -> Hashtbl.replace t.aborted tid ()) summary.losers;
+  List.iter
+    (fun (tid, coordinator) ->
+      Hashtbl.replace t.participants tid
+        { p_tid = tid; p_coordinator = coordinator; p_resolved = false };
+      start_resolver t tid ~coordinator ~delay:200_000)
+    summary.in_doubt
+
+let create engine ~node ~rm ~cm ?(vote_timeout = 2_000_000)
+    ?(read_only_optimization = true) ?(checkpoint_interval = 50) () =
+  let t =
+    {
+      engine;
+      node_id = node;
+      rm;
+      cm;
+      vote_timeout;
+      read_only_optimization;
+      checkpoint_interval;
+      commits_since_checkpoint = 0;
+      next_seq = 0;
+      servers = Hashtbl.create 8;
+      joined = Hashtbl.create 32;
+      sub_counters = Hashtbl.create 16;
+      aborted = Hashtbl.create 16;
+      outcomes = Hashtbl.create 32;
+      gathers = Hashtbl.create 8;
+      acks = Hashtbl.create 8;
+      participants = Hashtbl.create 8;
+    }
+  in
+  Recovery_mgr.set_active_txns_source rm (fun () -> active_txns t);
+  Comm_mgr.set_remote_involvement_handler cm (fun _tid ->
+      (* the Communication Manager's first-spread notice to the TM *)
+      Metrics.record (Engine.metrics engine) Cost_model.Small_contiguous_message);
+  Comm_mgr.add_datagram_handler cm (fun ~src payload ->
+      match payload with
+      | Tm_prepare top -> handle_prepare t top ~src
+      | Tm_vote (top, v) ->
+          gather_note t t.gathers top src v;
+          if v = No then
+            (* make sure a blocked coordinator learns promptly *)
+            gather_note t t.gathers top src No
+      | Tm_commit top -> apply_decided_outcome t top Committed ~ack_to:(Some src)
+      | Tm_abort top -> apply_decided_outcome t top Aborted ~ack_to:(Some src)
+      | Tm_ack top -> gather_note t t.acks top src Yes
+      | Tm_status_query top -> handle_status_query t top ~src
+      | Tm_status_reply (top, outcome) ->
+          if Hashtbl.mem t.participants top then
+            apply_decided_outcome t top outcome ~ack_to:None
+      | _ -> ());
+  t

@@ -1,0 +1,128 @@
+(** The Transaction Manager: globally unique transaction identifiers,
+    commit and abort protocols, and the subtransaction model
+    (Section 3.2.3).
+
+    Distributed commitment uses the tree-structured variant of two-phase
+    commit: each node coordinates the nodes that are its children in the
+    spanning tree the Communication Manager recorded while the
+    transaction spread. Commit protocol messages travel as datagrams.
+
+    The paper's known failure mode is preserved: a subordinate that
+    prepared and then lost its coordinator holds its data inaccessible
+    (locks re-taken at restart) until the coordinator answers a status
+    query — the classic two-phase-commit blocking window.
+
+    Subtransactions behave as in Section 2.1.3: beginning one requires
+    only its parent's identifier, committing one merely passes its locks
+    to the parent (it is not durable until the top-level transaction
+    commits), and aborting one undoes and releases only its own subtree
+    without disturbing the parent. *)
+
+type t
+
+type outcome = Committed | Aborted
+
+(** Phase-one replies: [Read_only] is the vote of a subtree that logged
+    nothing and can skip phase two. *)
+type vote = Yes | No | Read_only
+
+(** The commit-protocol datagram vocabulary, exposed for tests and
+    monitoring tools. *)
+type Tabs_net.Network.payload +=
+  | Tm_prepare of Tabs_wal.Tid.t
+  | Tm_vote of Tabs_wal.Tid.t * vote
+  | Tm_commit of Tabs_wal.Tid.t
+  | Tm_abort of Tabs_wal.Tid.t
+  | Tm_ack of Tabs_wal.Tid.t
+  | Tm_status_query of Tabs_wal.Tid.t
+  | Tm_status_reply of Tabs_wal.Tid.t * outcome
+
+(** What a data server must provide to take part in transaction
+    completion; registered once per server at startup. *)
+type server_callbacks = {
+  on_prepare : Tabs_wal.Tid.t -> bool;
+      (** phase-one vote covering the whole family of the given
+          top-level transaction *)
+  on_outcome : Tabs_wal.Tid.t -> outcome -> unit;
+      (** top-level verdict: release the family's locks (undo of aborted
+          updates has already been performed by the Recovery Manager) *)
+  on_subtxn_commit : Tabs_wal.Tid.t -> unit;
+      (** pass the subtransaction's locks to its parent *)
+  on_subtxn_abort : Tabs_wal.Tid.t -> unit;
+      (** release the aborted subtransaction's locks *)
+}
+
+(** [read_only_optimization] (default true) lets subtrees that logged
+    nothing vote Read_only and drop out of phase two; disabling it
+    exists for the ablation benchmark. Every [checkpoint_interval]
+    commits (default 50) the Transaction Manager asks the Recovery
+    Manager for a system checkpoint and, if the log is near its space
+    limit, reclamation. *)
+val create :
+  Tabs_sim.Engine.t ->
+  node:int ->
+  rm:Tabs_recovery.Recovery_mgr.t ->
+  cm:Tabs_net.Comm_mgr.t ->
+  ?vote_timeout:int ->
+  ?read_only_optimization:bool ->
+  ?checkpoint_interval:int ->
+  unit ->
+  t
+
+val node : t -> int
+
+(** [register_server t ~name callbacks] — data servers announce
+    themselves so the Transaction Manager knows whom to inform at
+    completion. *)
+val register_server : t -> name:string -> server_callbacks -> unit
+
+(** [begin_txn t] starts a new top-level transaction (the library's
+    [BeginTransaction] with the null identifier). One message round-trip
+    with the application. Must run inside a fiber. *)
+val begin_txn : t -> Tabs_wal.Tid.t
+
+(** [begin_subtxn t parent] starts a subtransaction of [parent]. *)
+val begin_subtxn : t -> Tabs_wal.Tid.t -> Tabs_wal.Tid.t
+
+(** [join t ~tid ~server] — a data server reports the first operation it
+    performs on behalf of [tid] (one message), so the Transaction
+    Manager knows to inform it at completion. *)
+val join : t -> tid:Tabs_wal.Tid.t -> server:string -> unit
+
+(** [commit t tid] attempts commitment and reports the verdict.
+
+    Top-level: if the Communication Manager saw no remote spread, a
+    purely local commit (forcing the log only when updates were made);
+    otherwise the full tree two-phase commit, with the read-only
+    optimization for subtrees that logged nothing.
+
+    Subtransaction: passes locks to the parent, always [Committed]
+    (durability awaits the top-level commit). *)
+val commit : t -> Tabs_wal.Tid.t -> outcome
+
+(** [abort t tid] forces the transaction or subtransaction to abort:
+    undoes its subtree via the Recovery Manager, releases its locks, and
+    for distributed top-level transactions informs remote participants. *)
+val abort : t -> Tabs_wal.Tid.t -> unit
+
+(** [is_aborted t tid] — supports the library's [TransactionIsAborted]
+    exception: true once [tid] or an ancestor has aborted. *)
+val is_aborted : t -> Tabs_wal.Tid.t -> bool
+
+(** [active_txns t] feeds checkpoint records. *)
+val active_txns : t -> (Tabs_wal.Tid.t * Tabs_wal.Record.lsn option) list
+
+(** [recover t outcome] is called at node restart with the Recovery
+    Manager's summary: it re-registers in-doubt transactions and starts
+    resolver fibers that query each coordinator (presumed-abort: a
+    coordinator with no memory of the transaction answers Aborted).
+    Returns immediately. *)
+val recover : t -> Tabs_recovery.Recovery_mgr.recovery_outcome -> unit
+
+(** [in_doubt t] lists transactions still awaiting their coordinator's
+    verdict. *)
+val in_doubt : t -> Tabs_wal.Tid.t list
+
+(** [outcome_of t tid] answers status queries (and tests): the locally
+    known verdict, if any. *)
+val outcome_of : t -> Tabs_wal.Tid.t -> outcome option

@@ -1,0 +1,1 @@
+lib/wal/codec.ml: Buffer Bytes Int64 List String

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Cost_model Engine Hashtbl List Page Record Stable String Tabs_sim Tabs_storage Tid

@@ -1,0 +1,1 @@
+lib/wal/log_manager.mli: Object_id Record Tabs_sim Tabs_storage Tid

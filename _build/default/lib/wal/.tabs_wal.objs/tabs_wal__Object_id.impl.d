@@ -1,0 +1,1 @@
+lib/wal/object_id.ml: Disk Format Hashtbl List Page Tabs_storage

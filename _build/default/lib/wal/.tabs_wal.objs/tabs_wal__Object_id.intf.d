@@ -1,0 +1,1 @@
+lib/wal/object_id.mli: Format Tabs_storage

@@ -1,0 +1,1 @@
+lib/wal/record.ml: Codec Disk Format List Object_id Printf String Tabs_storage Tid

@@ -1,0 +1,1 @@
+lib/wal/record.mli: Format Object_id Tabs_storage Tid

@@ -1,0 +1,1 @@
+lib/wal/tid.ml: Format Hashtbl List Stdlib

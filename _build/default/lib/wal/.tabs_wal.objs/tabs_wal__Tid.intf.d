@@ -1,0 +1,1 @@
+lib/wal/tid.mli: Format

@@ -1,0 +1,72 @@
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  let int t v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    Buffer.add_bytes t b
+
+  let string t s =
+    int t (String.length s);
+    Buffer.add_string t s
+
+  let bool t v = Buffer.add_char t (if v then '\001' else '\000')
+
+  let list t f xs =
+    int t (List.length xs);
+    List.iter (f t) xs
+
+  let option t f = function
+    | None -> bool t false
+    | Some v ->
+        bool t true;
+        f t v
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Malformed of string
+
+  let of_string data = { data; pos = 0 }
+
+  let need t n =
+    if t.pos + n > String.length t.data then
+      raise (Malformed "truncated record")
+
+  let int t =
+    need t 8;
+    let v = Int64.to_int (String.get_int64_le t.data t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let string t =
+    let len = int t in
+    if len < 0 then raise (Malformed "negative length");
+    need t len;
+    let s = String.sub t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let bool t =
+    need t 1;
+    let c = t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | _ -> raise (Malformed "bad boolean")
+
+  let list t f =
+    let n = int t in
+    if n < 0 then raise (Malformed "negative list length");
+    List.init n (fun _ -> f t)
+
+  let option t f = if bool t then Some (f t) else None
+
+  let at_end t = t.pos = String.length t.data
+end

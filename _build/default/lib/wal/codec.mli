@@ -1,0 +1,43 @@
+(** Minimal binary codec for log records.
+
+    Hand-rolled rather than [Marshal] so that record encodings are stable,
+    inspectable, and covered by round-trip property tests. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val int : t -> int -> unit
+
+  val string : t -> string -> unit
+
+  val bool : t -> bool -> unit
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  exception Malformed of string
+
+  val of_string : string -> t
+
+  val int : t -> int
+
+  val string : t -> string
+
+  val bool : t -> bool
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val option : t -> (t -> 'a) -> 'a option
+
+  (** [at_end t] holds when every byte has been consumed. *)
+  val at_end : t -> bool
+end

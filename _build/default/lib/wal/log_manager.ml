@@ -1,0 +1,165 @@
+open Tabs_sim
+open Tabs_storage
+
+type lsn = Record.lsn
+
+type t = {
+  engine : Engine.t;
+  stable : Stable.t;
+  mutable pending : (lsn * Record.t) list; (* newest first *)
+  mutable next : lsn;
+  txn_last : (Tid.t, lsn) Hashtbl.t;
+  txn_first : (Tid.t, lsn) Hashtbl.t;
+  mutable forces : int;
+}
+
+let attach engine stable =
+  {
+    engine;
+    stable;
+    pending = [];
+    next = Stable.next stable;
+    txn_last = Hashtbl.create 32;
+    txn_first = Hashtbl.create 32;
+    forces = 0;
+  }
+
+let stable t = t.stable
+
+let last_lsn_of t tid = Hashtbl.find_opt t.txn_last tid
+
+let first_lsn_of t tid = Hashtbl.find_opt t.txn_first tid
+
+let chained_tids_of_family t top =
+  let root = Tid.top_level top in
+  Hashtbl.fold
+    (fun tid _ acc ->
+      if Tid.is_ancestor ~ancestor:root tid then tid :: acc else acc)
+    t.txn_last []
+  |> List.sort Tid.compare
+
+let restore_chain t ~tid ~first ~last =
+  Hashtbl.replace t.txn_first tid first;
+  Hashtbl.replace t.txn_last tid last
+
+let next_lsn t = t.next
+
+let flushed_lsn t = Stable.next t.stable
+
+let push t record =
+  let lsn = t.next in
+  t.next <- lsn + 1;
+  t.pending <- (lsn, record) :: t.pending;
+  (match Record.tid_of record with
+  | Some tid -> (
+      match record with
+      | Record.Update_value _ | Record.Update_operation _ ->
+          Hashtbl.replace t.txn_last tid lsn;
+          if not (Hashtbl.mem t.txn_first tid) then
+            Hashtbl.add t.txn_first tid lsn
+      | Record.Txn_commit _ | Record.Txn_abort _ | Record.Txn_end _ ->
+          Hashtbl.remove t.txn_last tid;
+          Hashtbl.remove t.txn_first tid
+      | Record.Txn_begin _ | Record.Txn_prepare _ | Record.Checkpoint _ -> ())
+  | None -> ());
+  lsn
+
+let append t record =
+  let with_prev =
+    match record with
+    | Record.Update_value u ->
+        Record.Update_value { u with prev = last_lsn_of t u.tid }
+    | Record.Update_operation u ->
+        Record.Update_operation { u with prev = last_lsn_of t u.tid }
+    | other -> other
+  in
+  push t with_prev
+
+let append_value t ~tid ~obj ~old_value ~new_value =
+  append t
+    (Record.Update_value { tid; obj; old_value; new_value; prev = None })
+
+let append_operation t ~tid ~server ~operation ~undo_arg ~redo_arg ~pages =
+  append t
+    (Record.Update_operation
+       { tid; server; operation; undo_arg; redo_arg; pages; prev = None })
+
+let force t ~upto =
+  if upto >= flushed_lsn t then begin
+    (* Flush every buffered record with LSN <= upto, oldest first.
+       Records are appended in LSN order, so this is a suffix split. *)
+    let to_flush, keep =
+      List.partition (fun (lsn, _) -> lsn <= upto) t.pending
+    in
+    t.pending <- keep;
+    let in_order = List.rev to_flush in
+    let bytes =
+      List.fold_left
+        (fun acc (lsn, record) ->
+          let encoded = Record.encode record in
+          let pos = Stable.append t.stable encoded in
+          assert (pos = lsn);
+          acc + String.length encoded)
+        0 in_order
+    in
+    if bytes > 0 then begin
+      (* the buffered records travel to the log device in one message *)
+      Engine.charge t.engine Cost_model.Large_contiguous_message;
+      let pages = (bytes + Page.size - 1) / Page.size in
+      t.forces <- t.forces + 1;
+      for _ = 1 to pages do
+        Engine.charge t.engine Cost_model.Stable_storage_write
+      done
+    end
+  end
+
+let force_all t = force t ~upto:(t.next - 1)
+
+let read t lsn =
+  match List.assoc_opt lsn t.pending with
+  | Some record -> record
+  | None -> Record.decode (Stable.read t.stable lsn)
+
+let iter_backward t ~from ~f =
+  let lowest = Stable.first t.stable in
+  let rec go lsn =
+    if lsn >= lowest then begin
+      match
+        (try Some (read t lsn) with Not_found -> None)
+      with
+      | None -> go (lsn - 1)
+      | Some record -> (
+          match f lsn record with `Stop -> () | `Continue -> go (lsn - 1))
+    end
+  in
+  if from >= lowest then go (min from (t.next - 1))
+
+let iter_forward t ~from ~f =
+  let stop = Stable.next t.stable in
+  let rec go lsn =
+    if lsn < stop then begin
+      f lsn (Record.decode (Stable.read t.stable lsn));
+      go (lsn + 1)
+    end
+  in
+  go (max from (Stable.first t.stable))
+
+let first_lsn t = Stable.first t.stable
+
+let last_checkpoint t =
+  let found = ref None in
+  let f lsn record =
+    match record with
+    | Record.Checkpoint _ ->
+        found := Some lsn;
+        `Stop
+    | _ -> `Continue
+  in
+  iter_backward t ~from:(Stable.next t.stable - 1) ~f;
+  !found
+
+let truncate t ~keep_from = Stable.truncate_prefix t.stable ~keep_from
+
+let force_count t = t.forces
+
+let stable_bytes t = Stable.total_bytes t.stable

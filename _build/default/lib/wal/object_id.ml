@@ -1,0 +1,25 @@
+open Tabs_storage
+
+type t = { segment : Disk.segment_id; offset : int; length : int }
+
+let make ~segment ~offset ~length =
+  if offset < 0 || length < 0 then invalid_arg "Object_id.make";
+  { segment; offset; length }
+
+let pages t =
+  if t.length = 0 then []
+  else begin
+    let first = t.offset / Page.size in
+    let last = (t.offset + t.length - 1) / Page.size in
+    List.init (last - first + 1) (fun i ->
+        { Disk.segment = t.segment; page = first + i })
+  end
+
+let fits_one_page t = List.length (pages t) <= 1
+
+let equal a b = a.segment = b.segment && a.offset = b.offset && a.length = b.length
+
+let hash = Hashtbl.hash
+
+let pp fmt t =
+  Format.fprintf fmt "obj(seg=%d,off=%d,len=%d)" t.segment t.offset t.length

@@ -1,0 +1,24 @@
+(** Logical object identifiers: disk addresses of recoverable data.
+
+    The server library's [CreateObjectID] maps a virtual address and
+    length to a disk address inside the server's recoverable segment
+    (Section 3.1.1); the log manager works in these terms. An object is a
+    byte range of a segment; value logging requires it to fit within one
+    page (Section 2.1.3). *)
+
+type t = { segment : Tabs_storage.Disk.segment_id; offset : int; length : int }
+
+val make : segment:int -> offset:int -> length:int -> t
+
+(** [pages t] is the list of pages the byte range touches, in order. *)
+val pages : t -> Tabs_storage.Disk.page_id list
+
+(** [fits_one_page t] holds when the range lies within a single page — a
+    precondition for value logging. *)
+val fits_one_page : t -> bool
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+(** Write-ahead log records.
+
+    The common log holds both value-logging and operation-logging update
+    records side by side (Section 2.1.3 — "two co-existing write-ahead
+    logging techniques ... share a common log"), transaction management
+    records written on behalf of the Transaction Manager, and checkpoint
+    records written by the Recovery Manager. *)
+
+(** Log sequence number: position of a record in the node's log. *)
+type lsn = int
+
+(** A value-logging update: old and new images of at most one page of an
+    object's representation. [prev] chains this transaction's updates
+    backward for abort processing. *)
+type update_value = {
+  tid : Tid.t;
+  obj : Object_id.t;
+  old_value : string;
+  new_value : string;
+  prev : lsn option;
+}
+
+(** An operation-logging update: the name of an operation and enough
+    information to invoke its redo or undo; may cover a multi-page
+    object. [pages] are the pages whose sector sequence numbers gate
+    redo. *)
+type update_operation = {
+  tid : Tid.t;
+  server : string;
+  operation : string;
+  undo_arg : string;
+  redo_arg : string;
+  pages : Tabs_storage.Disk.page_id list;
+  prev : lsn option;
+}
+
+type checkpoint = {
+  dirty_pages : (Tabs_storage.Disk.page_id * lsn) list;
+      (** pages in volatile storage and the LSN of the earliest update
+          not yet reflected on disk (recovery must start no later). *)
+  active_txns : (Tid.t * lsn option) list;
+      (** transactions in progress and their most recent update LSN. *)
+}
+
+type t =
+  | Update_value of update_value
+  | Update_operation of update_operation
+  | Txn_begin of Tid.t
+  | Txn_commit of Tid.t
+  | Txn_abort of Tid.t
+  | Txn_prepare of Tid.t * int  (** prepared; int is the coordinator node *)
+  | Txn_end of Tid.t  (** two-phase commit completed, outcome fully acked *)
+  | Checkpoint of checkpoint
+
+(** [tid_of t] is the transaction a record belongs to, if any. *)
+val tid_of : t -> Tid.t option
+
+(** [prev_of t] is the backward-chain pointer of update records. *)
+val prev_of : t -> lsn option
+
+val encode : t -> string
+
+(** Raises [Codec.Reader.Malformed] on corrupt input. *)
+val decode : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/metrics_index.ml: Array Cost_model Tabs_bench Tabs_sim

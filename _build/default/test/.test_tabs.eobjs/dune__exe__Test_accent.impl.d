@@ -1,0 +1,1 @@
+test/test_accent.ml: Alcotest Disk Engine List Object_id Option Page Port Tabs_accent Tabs_sim Tabs_storage Tabs_wal Vm

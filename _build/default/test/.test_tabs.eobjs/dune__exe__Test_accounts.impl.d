@@ -1,0 +1,1 @@
+test/test_accounts.ml: Account_server Alcotest Cluster Errors List Node Option QCheck QCheck_alcotest Tabs_accent Tabs_core Tabs_servers Tabs_sim Tabs_wal Txn_lib

@@ -1,0 +1,1 @@
+test/test_bench_shapes.ml: Alcotest Cost_model Lazy List Metrics_index Tabs_bench Tabs_sim

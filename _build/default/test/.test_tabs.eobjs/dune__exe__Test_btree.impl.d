@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree_server Cluster Errors List Map Node Option Printf QCheck QCheck_alcotest String Tabs_core Tabs_servers Txn_lib

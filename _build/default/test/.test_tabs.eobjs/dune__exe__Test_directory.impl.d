@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Cluster Directory_server Errors Gen List Node Option Printf QCheck QCheck_alcotest Tabs_core Tabs_servers Tabs_sim Tabs_wal Txn_lib

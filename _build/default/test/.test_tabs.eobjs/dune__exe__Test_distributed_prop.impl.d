@@ -1,0 +1,1 @@
+test/test_distributed_prop.ml: Array Cluster Gen Int_array_server List Node Printf QCheck QCheck_alcotest Tabs_core Tabs_servers Txn_lib

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cluster Engine Errors Int_array_server List Node Option Printf Server_lib Tabs_accent Tabs_core Tabs_recovery Tabs_servers Tabs_sim Tabs_tm Tabs_wal Tid Txn_lib

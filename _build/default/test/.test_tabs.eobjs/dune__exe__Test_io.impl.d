@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Cluster Engine Errors Io_server List Node Option String Tabs_core Tabs_servers Tabs_sim Tabs_wal Txn_lib

@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Engine List Lock_manager Mode Object_id QCheck QCheck_alcotest Tabs_lock Tabs_sim Tabs_wal Tid

@@ -1,0 +1,1 @@
+test/test_name_rpc.ml: Alcotest Cluster Cost_model Engine Errors Int_array_server List Metrics Node Printf Rpc Tabs_core Tabs_name Tabs_servers Tabs_sim Txn_lib

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Comm_mgr Cost_model Engine List Metrics Network QCheck QCheck_alcotest Tabs_net Tabs_sim Tabs_wal Tid

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Cluster Engine Errors List Node Option QCheck QCheck_alcotest Tabs_core Tabs_servers Tabs_sim Txn_lib Weak_queue_server

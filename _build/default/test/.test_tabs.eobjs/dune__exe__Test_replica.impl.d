@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest Btree_server Cluster Errors List Node Printf Replicated_directory String Tabs_core Tabs_servers Txn_lib

@@ -1,0 +1,1 @@
+test/test_server_lib.ml: Alcotest Cluster Errors Mode Node Server_lib String Tabs_accent Tabs_core Tabs_lock Tabs_wal Txn_lib

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cost_model Engine Heap List Metrics QCheck QCheck_alcotest Rng Tabs_sim

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Disk Engine List Page Printf QCheck QCheck_alcotest Stable Tabs_sim Tabs_storage

@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest Cluster Cost_model Engine Int_array_server List Metrics Node Printf Tabs_core Tabs_net Tabs_servers Tabs_sim Tabs_tm Tabs_wal Txn_lib Txn_mgr

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Codec Cost_model Disk Engine Format Gen List Log_manager Metrics Object_id QCheck QCheck_alcotest Record Stable Tabs_sim Tabs_storage Tabs_wal Tid

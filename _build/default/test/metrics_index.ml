@@ -1,0 +1,14 @@
+(* Helper: read a per-primitive weight out of a Tabs_bench.Workloads.result
+   (pre-commit + commit windows combined). *)
+
+open Tabs_sim
+
+let weight (r : Tabs_bench.Workloads.result) p =
+  let idx =
+    let rec find i = function
+      | [] -> assert false
+      | q :: rest -> if q = p then i else find (i + 1) rest
+    in
+    find 0 Cost_model.all
+  in
+  r.pre.(idx) +. r.commit.(idx)

@@ -1,0 +1,338 @@
+(* Tests for the operation-logged account server: logical undo/redo,
+   single multi-page records, and the three-pass crash recovery
+   algorithm gated by sector sequence numbers. *)
+
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let acc =
+    Account_server.create (Node.env node) ~name:"accounts" ~segment:3
+      ~accounts:200 ()
+  in
+  (c, node, acc)
+
+let reinstall holder env =
+  holder :=
+    Some (Account_server.create env ~name:"accounts" ~segment:3 ~accounts:200 ())
+
+let test_deposit_and_balance () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.deposit acc tid 7 100;
+            Account_server.deposit acc tid 7 50);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.balance acc tid 7))
+  in
+  Alcotest.(check int) "accumulated" 150 v
+
+let test_abort_undoes_operations () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.deposit acc tid 1 100);
+        (let t = Txn_lib.begin_transaction tm () in
+         Account_server.deposit acc t 1 500;
+         Account_server.deposit acc t 1 500;
+         Txn_lib.abort_transaction tm t);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.balance acc tid 1))
+  in
+  Alcotest.(check int) "logical undo applied in reverse" 100 v
+
+let test_transfer_atomic () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  (* accounts 0 and 150 live on different pages: one record, two pages *)
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.deposit acc tid 0 1000);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.transfer acc tid ~from_:0 ~to_:150 400);
+        Txn_lib.execute_transaction tm (fun tid ->
+            ( Account_server.balance acc tid 0,
+              Account_server.balance acc tid 150 )))
+  in
+  Alcotest.(check (pair int int)) "conservation" (600, 400) v
+
+let test_insufficient_funds () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let raised =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.deposit acc tid 2 10);
+        try
+          Txn_lib.execute_transaction tm (fun tid ->
+              Account_server.transfer acc tid ~from_:2 ~to_:3 100);
+          false
+        with Errors.Server_error "InsufficientFunds" -> true)
+  in
+  Alcotest.(check bool) "guarded" true raised
+
+let test_crash_recovery_redo () =
+  (* Committed operations whose pages never reached disk must be redone
+     by the forward pass. *)
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.deposit acc tid 5 123;
+          Account_server.transfer acc tid ~from_:5 ~to_:150 23));
+  (* no flush: disk pages still zero, log has the operations *)
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let acc' = Option.get !holder in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            ( Account_server.balance acc' tid 5,
+              Account_server.balance acc' tid 150 )))
+  in
+  Alcotest.(check (pair int int)) "redo pass rebuilt balances" (100, 23) v
+
+let test_crash_recovery_undo () =
+  (* An uncommitted operation whose pages DID reach disk must be undone
+     by the backward pass. *)
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.deposit acc tid 9 100));
+  Cluster.spawn c ~node:0 (fun () ->
+      let t = Txn_lib.begin_transaction tm () in
+      Account_server.deposit acc t 9 5000;
+      Tabs_wal.Log_manager.force_all (Node.log node);
+      Tabs_accent.Vm.flush_all (Node.vm node);
+      Tabs_sim.Engine.delay 1_000_000);
+  Cluster.run_until c ~time:800_000;
+  Node.crash node;
+  let holder = ref None in
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node ~reinstall:(reinstall holder) ())
+  in
+  Alcotest.(check int) "loser detected" 1 (List.length outcome.losers);
+  let acc' = Option.get !holder in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Account_server.balance acc' tid 9))
+  in
+  Alcotest.(check int) "undo pass removed uncommitted deposit" 100 v
+
+let test_seqno_gating_skips_applied () =
+  (* Committed, flushed operations are already reflected on disk; the
+     redo pass must not double-apply them (sector sequence numbers gate
+     it). *)
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.deposit acc tid 11 77);
+      Tabs_accent.Vm.flush_all (Node.vm node));
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let acc' = Option.get !holder in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Account_server.balance acc' tid 11))
+  in
+  Alcotest.(check int) "not double-applied" 77 v
+
+let test_double_recovery_stable () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.deposit acc tid 13 31));
+  let holder = ref None in
+  Node.crash node;
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  Node.crash node;
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let acc' = Option.get !holder in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Account_server.balance acc' tid 13))
+  in
+  Alcotest.(check int) "recover twice = once" 31 v
+
+(* Type-specific locking: the commuting "credit" mode ------------------ *)
+
+let test_concurrent_credits_do_not_block () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let t_done = ref [] in
+  (* two transactions credit the same account, overlapping in time;
+     neither waits for the other *)
+  for w = 1 to 2 do
+    Cluster.spawn c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.credit acc tid 3 10;
+            (* hold the credit lock while the other transaction works *)
+            Tabs_sim.Engine.delay 400_000);
+        t_done := Tabs_sim.Engine.now (Cluster.engine c) :: !t_done;
+        ignore w)
+  done;
+  Cluster.run c;
+  (match !t_done with
+  | [ a; b ] ->
+      (* had they serialized, the second would finish a lock-timeout or
+         400ms later; overlapping runs finish within ~100ms of each
+         other *)
+      Alcotest.(check bool) "overlapped" true (abs (a - b) < 200_000)
+  | _ -> Alcotest.fail "both transactions must finish");
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.balance acc tid 3))
+  in
+  Alcotest.(check int) "both credits applied" 20 v
+
+let test_credit_conflicts_with_reader () =
+  (* "credit" commutes with itself but NOT with readers: a balance
+     inquiry must wait for the crediting transaction to commit (else it
+     would observe an uncommitted sum). *)
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let credit_committed = ref max_int in
+  let read_done = ref (-1) in
+  let read_value = ref (-1) in
+  Cluster.spawn c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.credit acc tid 4 5;
+          Tabs_sim.Engine.delay 500_000);
+      credit_committed := Tabs_sim.Engine.now (Cluster.engine c));
+  Cluster.spawn c ~node:0 (fun () ->
+      Tabs_sim.Engine.delay 250_000;
+      Txn_lib.execute_transaction tm (fun tid ->
+          read_value := Account_server.balance acc tid 4);
+      read_done := Tabs_sim.Engine.now (Cluster.engine c));
+  Cluster.run c;
+  Alcotest.(check int) "reader saw only the committed value" 5 !read_value;
+  Alcotest.(check bool) "reader waited for the commit" true
+    (!read_done >= !credit_committed)
+
+let test_credit_abort_subtracts () =
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.credit acc tid 5 100);
+        (let t = Txn_lib.begin_transaction tm () in
+         Account_server.credit acc t 5 40;
+         Txn_lib.abort_transaction tm t);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Account_server.balance acc tid 5))
+  in
+  Alcotest.(check int) "delta undone" 100 v
+
+let test_concurrent_credits_crash_recovery () =
+  (* one committed and one uncommitted concurrent credit; crash; the
+     committed delta must survive, the uncommitted one must vanish *)
+  let c, node, acc = setup () in
+  let tm = Node.tm node in
+  Cluster.spawn c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Account_server.credit acc tid 6 7));
+  Cluster.spawn c ~node:0 (fun () ->
+      let t = Txn_lib.begin_transaction tm () in
+      Account_server.credit acc t 6 1000;
+      Tabs_wal.Log_manager.force_all (Node.log node);
+      Tabs_accent.Vm.flush_all (Node.vm node);
+      Tabs_sim.Engine.delay 5_000_000);
+  Cluster.run_until c ~time:2_000_000;
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let acc' = Option.get !holder in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Account_server.balance acc' tid 6))
+  in
+  Alcotest.(check int) "committed delta only" 7 v
+
+let prop_conservation_under_crashes =
+  QCheck.Test.make ~name:"transfers conserve money across crashes" ~count:15
+    QCheck.(pair (list (pair (int_range 0 19) (int_range 0 19))) bool)
+    (fun (transfers, flush) ->
+      let c, node, acc = setup () in
+      let tm = Node.tm node in
+      let initial = 20 * 100 in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          Txn_lib.execute_transaction tm (fun tid ->
+              for i = 0 to 19 do
+                Account_server.deposit acc tid i 100
+              done);
+          List.iter
+            (fun (a, b) ->
+              if a <> b then
+                try
+                  Txn_lib.execute_transaction tm (fun tid ->
+                      Account_server.transfer acc tid ~from_:a ~to_:b 30)
+                with Errors.Server_error "InsufficientFunds" -> ())
+            transfers;
+          if flush then Tabs_accent.Vm.flush_all (Node.vm node));
+      Node.crash node;
+      let holder = ref None in
+      ignore
+        (Cluster.run_fiber c ~node:0 (fun () ->
+             Node.restart node ~reinstall:(reinstall holder) ()));
+      let acc' = Option.get !holder in
+      let total =
+        Cluster.run_fiber c ~node:0 (fun () ->
+            Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+                let sum = ref 0 in
+                for i = 0 to 19 do
+                  sum := !sum + Account_server.balance acc' tid i
+                done;
+                !sum))
+      in
+      total = initial)
+
+let suites =
+  [
+    ( "accounts.oplog",
+      [
+        quick "deposit/balance" test_deposit_and_balance;
+        quick "abort undoes" test_abort_undoes_operations;
+        quick "transfer atomic" test_transfer_atomic;
+        quick "insufficient funds" test_insufficient_funds;
+        quick "crash redo" test_crash_recovery_redo;
+        quick "crash undo" test_crash_recovery_undo;
+        quick "seqno gating" test_seqno_gating_skips_applied;
+        quick "double recovery" test_double_recovery_stable;
+        quick "commuting credits overlap" test_concurrent_credits_do_not_block;
+        quick "credit excludes reader" test_credit_conflicts_with_reader;
+        quick "credit abort subtracts" test_credit_abort_subtracts;
+        quick "concurrent credits + crash" test_concurrent_credits_crash_recovery;
+        QCheck_alcotest.to_alcotest prop_conservation_under_crashes;
+      ] );
+  ]

@@ -1,0 +1,45 @@
+(* A fast in-test run of the Section 5 benchmark harness: few
+   iterations, but enough to guard the qualitative orderings the
+   reproduction claims (the full run lives in bench/main.exe). *)
+
+open Tabs_sim
+
+let results =
+  lazy (Tabs_bench.Workloads.run_all ~iterations:4 ~warmup:1 ~model:Cost_model.measured ())
+
+let elapsed i = (List.nth (Lazy.force results) i : Tabs_bench.Workloads.result).elapsed_us
+
+let pre i p = Metrics_index.weight (List.nth (Lazy.force results) i) p
+
+let check name cond () = Alcotest.(check bool) name true cond
+
+let suites =
+  [
+    ( "bench.shapes",
+      [
+        Alcotest.test_case "writes cost more than reads" `Slow (fun () ->
+            check "local" (elapsed 4 > elapsed 0) ();
+            check "remote" (elapsed 10 > elapsed 7) ());
+        Alcotest.test_case "more ops cost more" `Slow (fun () ->
+            check "reads" (elapsed 1 > elapsed 0) ();
+            check "writes" (elapsed 5 > elapsed 4) ());
+        Alcotest.test_case "paging costs more" `Slow (fun () ->
+            check "read" (elapsed 2 > elapsed 0) ();
+            check "write" (elapsed 6 > elapsed 4) ();
+            check "random worst" (elapsed 3 > elapsed 2) ());
+        Alcotest.test_case "distribution costs more" `Slow (fun () ->
+            check "2 > 1 node" (elapsed 7 > elapsed 0) ();
+            check "3 > 2 nodes" (elapsed 12 > elapsed 7) ();
+            check "3-node write is worst" true ());
+        Alcotest.test_case "primitive counts match paper exactly (locals)"
+          `Slow
+          (fun () ->
+            (* the local read benchmark's counts are fully deterministic *)
+            Alcotest.(check (pair int int))
+              "1 local read: 1 DSC, 9 small (4 pre-commit + 5 commit)"
+              (1, 9)
+              ( int_of_float (pre 0 Cost_model.Data_server_call +. 0.5),
+                int_of_float
+                  (pre 0 Cost_model.Small_contiguous_message +. 0.5) ));
+      ] );
+  ]

@@ -1,0 +1,223 @@
+(* Tests for the B-tree server: structure under splits, transactional
+   abort of multi-page mutations, the recoverable storage allocator,
+   crash recovery, and a model-based property test against Map. *)
+
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let bt = Btree_server.create (Node.env node) ~name:"btree" ~segment:4 () in
+  (c, node, bt)
+
+let reinstall holder env =
+  holder := Some (Btree_server.create env ~name:"btree" ~segment:4 ())
+
+let key i = Printf.sprintf "key-%04d" i
+
+let test_insert_lookup () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.insert bt tid ~key:"alpha" ~value:"1";
+            Btree_server.insert bt tid ~key:"beta" ~value:"2");
+        Txn_lib.execute_transaction tm (fun tid ->
+            ( Btree_server.lookup bt tid ~key:"alpha",
+              Btree_server.lookup bt tid ~key:"beta",
+              Btree_server.lookup bt tid ~key:"gamma" )))
+  in
+  Alcotest.(check (triple (option string) (option string) (option string)))
+    "lookups" (Some "1", Some "2", None) v
+
+let test_overwrite () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.insert bt tid ~key:"k" ~value:"old";
+            Btree_server.insert bt tid ~key:"k" ~value:"new");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.lookup bt tid ~key:"k"))
+  in
+  Alcotest.(check (option string)) "overwritten" (Some "new") v
+
+let test_many_inserts_split () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let n = 300 in
+  let all =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            for i = 0 to n - 1 do
+              (* shuffled order via multiplicative stepping *)
+              let j = 97 * i mod n in
+              Btree_server.insert bt tid ~key:(key j) ~value:(string_of_int j)
+            done;
+            Btree_server.check_invariants bt tid;
+            Btree_server.entries bt tid))
+  in
+  Alcotest.(check int) "all present" n (List.length all);
+  Alcotest.(check (list string))
+    "key order"
+    (List.init n key)
+    (List.map fst all)
+
+let test_delete () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let before, removed, after =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            for i = 0 to 49 do
+              Btree_server.insert bt tid ~key:(key i) ~value:"v"
+            done);
+        Txn_lib.execute_transaction tm (fun tid ->
+            let before = Btree_server.size bt tid in
+            let removed = Btree_server.delete bt tid ~key:(key 25) in
+            let after = Btree_server.size bt tid in
+            Btree_server.check_invariants bt tid;
+            (before, removed, after)))
+  in
+  Alcotest.(check (triple int bool int)) "delete shrinks" (50, true, 49)
+    (before, removed, after);
+  let ghost =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.lookup bt tid ~key:(key 25)))
+  in
+  Alcotest.(check (option string)) "gone" None ghost
+
+let test_abort_rolls_back_splits () =
+  (* An aborted bulk insert must roll back node splits AND the storage
+     allocator: a later insert sees the original small tree. *)
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.insert bt tid ~key:"base" ~value:"yes");
+        (let t = Txn_lib.begin_transaction tm () in
+         for i = 0 to 99 do
+           Btree_server.insert bt t ~key:(key i) ~value:"doomed"
+         done;
+         Txn_lib.abort_transaction tm t);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.check_invariants bt tid;
+            (Btree_server.entries bt tid, Btree_server.lookup bt tid ~key:(key 3))))
+  in
+  Alcotest.(check (pair (list (pair string string)) (option string)))
+    "only the committed entry remains"
+    ([ ("base", "yes") ], None)
+    v
+
+let test_crash_recovery () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          for i = 0 to 99 do
+            Btree_server.insert bt tid ~key:(key i) ~value:(string_of_int i)
+          done));
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let bt' = Option.get !holder in
+  let n, inv_ok =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            let n = Btree_server.size bt' tid in
+            Btree_server.check_invariants bt' tid;
+            (n, true)))
+  in
+  Alcotest.(check (pair int bool)) "tree survives crash" (100, true) (n, inv_ok)
+
+let test_size_limits () =
+  let c, node, bt = setup () in
+  let tm = Node.tm node in
+  let results =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            let too_long_key =
+              try
+                Btree_server.insert bt tid ~key:(String.make 30 'x') ~value:"v";
+                false
+              with Errors.Server_error "KeyTooLong" -> true
+            in
+            let too_long_value =
+              try
+                Btree_server.insert bt tid ~key:"ok" ~value:(String.make 40 'y');
+                false
+              with Errors.Server_error "ValueTooLong" -> true
+            in
+            let empty_key =
+              try
+                Btree_server.insert bt tid ~key:"" ~value:"v";
+                false
+              with Errors.Server_error "EmptyKey" -> true
+            in
+            [ too_long_key; too_long_value; empty_key ]))
+  in
+  Alcotest.(check (list bool)) "limits enforced" [ true; true; true ] results
+
+let prop_btree_matches_map =
+  QCheck.Test.make ~name:"btree behaves like Map under random ops" ~count:20
+    QCheck.(list (pair (int_range 0 2) (int_range 0 60)))
+    (fun script ->
+      let c, node, bt = setup () in
+      let tm = Node.tm node in
+      let module M = Map.Make (String) in
+      let model = ref M.empty in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          List.iter
+            (fun (op, i) ->
+              let k = key i in
+              match op with
+              | 0 ->
+                  let v = string_of_int i in
+                  Txn_lib.execute_transaction tm (fun tid ->
+                      Btree_server.insert bt tid ~key:k ~value:v);
+                  model := M.add k v !model
+              | 1 ->
+                  let removed =
+                    Txn_lib.execute_transaction tm (fun tid ->
+                        Btree_server.delete bt tid ~key:k)
+                  in
+                  let expected = M.mem k !model in
+                  model := M.remove k !model;
+                  if removed <> expected then failwith "delete mismatch"
+              | _ ->
+                  let got =
+                    Txn_lib.execute_transaction tm (fun tid ->
+                        Btree_server.lookup bt tid ~key:k)
+                  in
+                  if got <> M.find_opt k !model then failwith "lookup mismatch")
+            script;
+          let entries =
+            Txn_lib.execute_transaction tm (fun tid ->
+                Btree_server.check_invariants bt tid;
+                Btree_server.entries bt tid)
+          in
+          entries = M.bindings !model))
+
+let suites =
+  [
+    ( "btree",
+      [
+        quick "insert/lookup" test_insert_lookup;
+        quick "overwrite" test_overwrite;
+        quick "splits keep order" test_many_inserts_split;
+        quick "delete" test_delete;
+        quick "abort rolls back splits" test_abort_rolls_back_splits;
+        quick "crash recovery" test_crash_recovery;
+        quick "size limits" test_size_limits;
+        QCheck_alcotest.to_alcotest prop_btree_matches_map;
+      ] );
+  ]

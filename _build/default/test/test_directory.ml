@@ -1,0 +1,190 @@
+(* Tests for the multi-key directory server: secondary-index
+   maintenance under commit, abort, and crash. *)
+
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let dir =
+    Directory_server.create (Node.env node) ~name:"dir" ~primary_segment:8
+      ~index_segment:9 ()
+  in
+  (c, node, dir)
+
+let reinstall holder env =
+  holder :=
+    Some
+      (Directory_server.create env ~name:"dir" ~primary_segment:8
+         ~index_segment:9 ())
+
+let e p s pay = { Directory_server.primary = p; secondary = s; payload = pay }
+
+let test_add_find_both_keys () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  let by_p, by_s =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.add dir tid (e "perq7" "128.2.250.7" "mail host"));
+        Txn_lib.execute_transaction tm (fun tid ->
+            ( Directory_server.find dir tid ~primary:"perq7",
+              Directory_server.find_by_secondary dir tid
+                ~secondary:"128.2.250.7" )))
+  in
+  Alcotest.(check bool) "found by primary" true
+    (match by_p with Some x -> x.Directory_server.payload = "mail host" | None -> false);
+  Alcotest.(check bool) "found through index" true
+    (match by_s with Some x -> x.Directory_server.primary = "perq7" | None -> false)
+
+let test_duplicate_rejected () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  let dup_primary, dup_secondary =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.add dir tid (e "a" "s1" "x"));
+        let p =
+          try
+            Txn_lib.execute_transaction tm (fun tid ->
+                Directory_server.add dir tid (e "a" "s2" "y"));
+            false
+          with Errors.Server_error "DuplicateKey" -> true
+        in
+        let s =
+          try
+            Txn_lib.execute_transaction tm (fun tid ->
+                Directory_server.add dir tid (e "b" "s1" "y"));
+            false
+          with Errors.Server_error "DuplicateKey" -> true
+        in
+        (p, s))
+  in
+  Alcotest.(check (pair bool bool)) "both uniqueness checks" (true, true)
+    (dup_primary, dup_secondary)
+
+let test_abort_keeps_index_consistent () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  let consistent =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.add dir tid (e "keep" "k1" "v"));
+        (* an aborted add must leave NEITHER tree changed *)
+        (let t = Txn_lib.begin_transaction tm () in
+         Directory_server.add dir t (e "doomed" "d1" "v");
+         Txn_lib.abort_transaction tm t);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.check_consistency dir tid;
+            ( Directory_server.find dir tid ~primary:"doomed",
+              Directory_server.find_by_secondary dir tid ~secondary:"d1" )))
+  in
+  Alcotest.(check bool) "aborted entry invisible both ways" true
+    (consistent = (None, None))
+
+let test_remove_cleans_index () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  let gone =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.add dir tid (e "x" "sx" "v"));
+        Txn_lib.execute_transaction tm (fun tid ->
+            ignore (Directory_server.remove dir tid ~primary:"x"));
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.check_consistency dir tid;
+            Directory_server.find_by_secondary dir tid ~secondary:"sx"))
+  in
+  Alcotest.(check bool) "index record removed too" true (gone = None)
+
+let test_modify_preserves_index () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  let found =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.add dir tid (e "m" "sm" "old"));
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.modify dir tid ~primary:"m" ~payload:"new");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Directory_server.check_consistency dir tid;
+            Directory_server.find_by_secondary dir tid ~secondary:"sm"))
+  in
+  Alcotest.(check bool) "payload updated, index intact" true
+    (match found with Some x -> x.Directory_server.payload = "new" | None -> false)
+
+let test_crash_consistency () =
+  let c, node, dir = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Directory_server.add dir tid (e "p1" "s1" "a");
+          Directory_server.add dir tid (e "p2" "s2" "b")));
+  (* a transaction caught mid-flight by the crash: primary inserted,
+     index not yet *)
+  Cluster.spawn c ~node:0 (fun () ->
+      let t = Txn_lib.begin_transaction tm () in
+      Directory_server.add dir t (e "p3" "s3" "c");
+      Tabs_wal.Log_manager.force_all (Node.log node);
+      Tabs_sim.Engine.delay 10_000_000);
+  Cluster.run_until c ~time:3_000_000;
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(reinstall holder) ()));
+  let dir' = Option.get !holder in
+  let n =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+            Directory_server.check_consistency dir' tid;
+            List.length (Directory_server.entries dir' tid)))
+  in
+  Alcotest.(check int) "only committed entries, consistent index" 2 n
+
+let prop_directory_consistent =
+  QCheck.Test.make ~name:"directory index consistent under random ops" ~count:15
+    QCheck.(list_of_size (Gen.int_bound 30) (pair (int_range 0 2) (int_range 0 9)))
+    (fun script ->
+      let c, node, dir = setup () in
+      let tm = Node.tm node in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          List.iter
+            (fun (op, i) ->
+              let p = Printf.sprintf "p%d" i and s = Printf.sprintf "s%d" i in
+              match op with
+              | 0 -> (
+                  try
+                    Txn_lib.execute_transaction tm (fun tid ->
+                        Directory_server.add dir tid (e p s "v"))
+                  with Errors.Server_error "DuplicateKey" -> ())
+              | 1 ->
+                  Txn_lib.execute_transaction tm (fun tid ->
+                      ignore (Directory_server.remove dir tid ~primary:p))
+              | _ -> (
+                  (* aborted add *)
+                  let t = Txn_lib.begin_transaction tm () in
+                  (try Directory_server.add dir t (e p s "v")
+                   with Errors.Server_error "DuplicateKey" -> ());
+                  Txn_lib.abort_transaction tm t))
+            script;
+          Txn_lib.execute_transaction tm (fun tid ->
+              Directory_server.check_consistency dir tid;
+              true)))
+
+let suites =
+  [
+    ( "directory",
+      [
+        quick "add/find both keys" test_add_find_both_keys;
+        quick "duplicates rejected" test_duplicate_rejected;
+        quick "abort consistency" test_abort_keeps_index_consistent;
+        quick "remove cleans index" test_remove_cleans_index;
+        quick "modify preserves index" test_modify_preserves_index;
+        quick "crash consistency" test_crash_consistency;
+        QCheck_alcotest.to_alcotest prop_directory_consistent;
+      ] );
+  ]

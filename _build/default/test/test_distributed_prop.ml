@@ -1,0 +1,103 @@
+(* Property tests of distributed atomicity: random schedules of
+   two-node transactions, randomly committed or aborted, must leave the
+   two nodes pairwise consistent and equal to a sequential model. *)
+
+open Tabs_core
+open Tabs_servers
+
+let cells = 8
+
+let setup () =
+  let c = Cluster.create ~nodes:2 () in
+  let arrays =
+    List.map
+      (fun node ->
+        Int_array_server.create (Node.env node)
+          ~name:(Printf.sprintf "a%d" (Node.id node))
+          ~segment:1 ~cells ())
+      (Cluster.nodes c)
+  in
+  (c, arrays)
+
+let prop_distributed_all_or_nothing =
+  QCheck.Test.make ~name:"two-node transactions are all-or-nothing" ~count:15
+    QCheck.(list_of_size (Gen.int_bound 25) (pair (int_range 0 7) bool))
+    (fun script ->
+      let c, _ = setup () in
+      let n0 = Cluster.node c 0 in
+      let tm = Node.tm n0 and rpc = Node.rpc n0 in
+      let model = Array.make cells 0 in
+      let value = ref 0 in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          List.iter
+            (fun (cell, commit) ->
+              incr value;
+              let v = !value in
+              let tid = Txn_lib.begin_transaction tm () in
+              Int_array_server.call_set rpc ~dest:0 ~server:"a0" tid cell v;
+              Int_array_server.call_set rpc ~dest:1 ~server:"a1" tid cell v;
+              if commit then begin
+                if Txn_lib.end_transaction tm tid then model.(cell) <- v
+              end
+              else Txn_lib.abort_transaction tm tid)
+            script;
+          (* both nodes must agree with the model cell by cell *)
+          let ok = ref true in
+          Txn_lib.execute_transaction tm (fun tid ->
+              for cell = 0 to cells - 1 do
+                let v0 =
+                  Int_array_server.call_get rpc ~dest:0 ~server:"a0" tid cell
+                in
+                let v1 =
+                  Int_array_server.call_get rpc ~dest:1 ~server:"a1" tid cell
+                in
+                if v0 <> model.(cell) || v1 <> model.(cell) then ok := false
+              done);
+          !ok))
+
+let prop_atomic_across_subordinate_crash =
+  QCheck.Test.make
+    ~name:"crash after k committed txns preserves pairwise consistency"
+    ~count:10
+    QCheck.(int_range 1 6)
+    (fun k ->
+      let c, _ = setup () in
+      let n0 = Cluster.node c 0 and n1 = Cluster.node c 1 in
+      let tm = Node.tm n0 and rpc = Node.rpc n0 in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          for i = 1 to k do
+            Txn_lib.execute_transaction tm (fun tid ->
+                Int_array_server.call_set rpc ~dest:0 ~server:"a0" tid
+                  (i mod cells) i;
+                Int_array_server.call_set rpc ~dest:1 ~server:"a1" tid
+                  (i mod cells) i)
+          done);
+      (* crash the subordinate, restart, and compare every cell *)
+      Node.crash n1;
+      ignore
+        (Cluster.run_fiber c ~node:1 (fun () ->
+             Node.restart n1 ~reinstall:(fun env ->
+                 ignore
+                   (Int_array_server.create env ~name:"a1" ~segment:1 ~cells ())) ()));
+      Cluster.run_fiber c ~node:0 (fun () ->
+          let ok = ref true in
+          Txn_lib.execute_transaction tm (fun tid ->
+              for cell = 0 to cells - 1 do
+                let v0 =
+                  Int_array_server.call_get rpc ~dest:0 ~server:"a0" tid cell
+                in
+                let v1 =
+                  Int_array_server.call_get rpc ~dest:1 ~server:"a1" tid cell
+                in
+                if v0 <> v1 then ok := false
+              done);
+          !ok))
+
+let suites =
+  [
+    ( "distributed.properties",
+      [
+        QCheck_alcotest.to_alcotest prop_distributed_all_or_nothing;
+        QCheck_alcotest.to_alcotest prop_atomic_across_subordinate_crash;
+      ] );
+  ]

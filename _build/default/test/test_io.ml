@@ -1,0 +1,221 @@
+(* Tests for the I/O server: permanent but non-failure-atomic output,
+   display styles driven by the state-object trick, input echo, and
+   screen restoration after a crash. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let setup () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
+  (c, node, io)
+
+(* rendering demand-pages the content region, so it runs as a fiber of
+   the display process *)
+let lines_of c io a =
+  Cluster.run_fiber c ~node:0 (fun () ->
+      match List.assoc_opt a (Io_server.render io) with
+      | Some lines -> lines
+      | None -> [])
+
+let test_committed_output_black () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let a =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let a = Io_server.obtain_io_area io in
+        Txn_lib.execute_transaction tm (fun tid ->
+            Io_server.writeln_to_area io tid a "deposit $35");
+        a)
+  in
+  Alcotest.(check (list (pair bool string)))
+    "committed output in black"
+    [ (true, "deposit $35") ]
+    (List.map
+       (fun (style, text) -> (style = Io_server.Committed, text))
+       (lines_of c io a))
+
+let test_aborted_output_struck () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let a =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let a = Io_server.obtain_io_area io in
+        let t = Txn_lib.begin_transaction tm () in
+        Io_server.writeln_to_area io t a "withdraw $80";
+        Txn_lib.abort_transaction tm t;
+        a)
+  in
+  (* the output did NOT disappear — it is struck through *)
+  Alcotest.(check (list (pair bool string)))
+    "aborted output struck, still visible"
+    [ (true, "withdraw $80") ]
+    (List.map
+       (fun (style, text) -> (style = Io_server.Aborted, text))
+       (lines_of c io a))
+
+let test_in_progress_gray () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let observed = ref [] in
+  Cluster.spawn c ~node:0 (fun () ->
+      let a = Io_server.obtain_io_area io in
+      Txn_lib.execute_transaction tm (fun tid ->
+          Io_server.writeln_to_area io tid a "thinking...";
+          (* sample the display while the transaction is still open *)
+          observed := (match List.assoc_opt a (Io_server.render io) with Some l -> l | None -> []);
+          Engine.delay 10_000));
+  Cluster.run c;
+  Alcotest.(check (list (pair bool string)))
+    "tentative output gray while in progress"
+    [ (true, "thinking...") ]
+    (List.map
+       (fun (style, text) -> (style = Io_server.In_progress, text))
+       !observed)
+
+let test_input_echoed_bracketed () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let got = ref "" in
+  let area = ref 0 in
+  Cluster.spawn c ~node:0 (fun () ->
+      let a = Io_server.obtain_io_area io in
+      area := a;
+      Txn_lib.execute_transaction tm (fun tid ->
+          got := Io_server.read_line_from_area io tid a));
+  Cluster.spawn c ~node:0 (fun () ->
+      Engine.delay 50_000;
+      Io_server.provide_input io 0 "100");
+  Cluster.run c;
+  Alcotest.(check string) "application got the line" "100" !got;
+  match lines_of c io !area with
+  | [ (_, echoed) ] ->
+      Alcotest.(check string) "echo is bracketed" "[100]" echoed
+  | other -> Alcotest.failf "unexpected lines: %d" (List.length other)
+
+let test_screen_restored_after_crash () =
+  (* The Figure 4-1 story: a committed deposit stays black; a withdrawal
+     interrupted by a node failure ends up struck through after the
+     screen is restored. *)
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let area = ref 0 in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      let a = Io_server.obtain_io_area io in
+      area := a;
+      Txn_lib.execute_transaction tm (fun tid ->
+          Io_server.writeln_to_area io tid a "deposit $35 OK"));
+  Cluster.spawn c ~node:0 (fun () ->
+      let t = Txn_lib.begin_transaction tm () in
+      Io_server.writeln_to_area io t !area "withdraw $80 ...";
+      (* node fails mid-transaction *)
+      Engine.delay 1_000_000);
+  Cluster.run_until c ~time:2_000_000;
+  Tabs_wal.Log_manager.force_all (Node.log node);
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(fun env ->
+             holder := Some (Io_server.create env ~name:"io" ~segment:6 ())) ()));
+  let io' = Option.get !holder in
+  let styles =
+    List.map (fun (style, text) -> (style, text)) (lines_of c io' !area)
+  in
+  Alcotest.(check int) "both lines restored" 2 (List.length styles);
+  (match styles with
+  | [ (s1, t1); (s2, t2) ] ->
+      Alcotest.(check bool) "deposit black" true (s1 = Io_server.Committed);
+      Alcotest.(check string) "deposit text" "deposit $35 OK" t1;
+      Alcotest.(check bool) "withdrawal struck" true (s2 = Io_server.Aborted);
+      Alcotest.(check string) "withdrawal text" "withdraw $80 ..." t2
+  | _ -> Alcotest.fail "unexpected shape");
+  (* render_text smoke test *)
+  let text = Io_server.render_text io' in
+  Alcotest.(check bool) "render contains struck line" true
+    (String.length text > 0)
+
+let test_write_partial_lines () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let a =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let a = Io_server.obtain_io_area io in
+        Txn_lib.execute_transaction tm (fun tid ->
+            Io_server.write_to_area io tid a "dep";
+            Io_server.write_to_area io tid a "osit ";
+            Io_server.writeln_to_area io tid a "$35");
+        a)
+  in
+  Alcotest.(check (list string)) "partial writes join one line"
+    [ "deposit $35" ]
+    (List.map snd (lines_of c io a))
+
+let test_read_char () =
+  let c, node, io = setup () in
+  let tm = Node.tm node in
+  let got = ref [] in
+  let area = ref 0 in
+  Cluster.spawn c ~node:0 (fun () ->
+      let a = Io_server.obtain_io_area io in
+      area := a;
+      Txn_lib.execute_transaction tm (fun tid ->
+          let first = Io_server.read_char_from_area io tid a in
+          let second = Io_server.read_char_from_area io tid a in
+          got := [ first; second ]));
+  Cluster.spawn c ~node:0 (fun () ->
+      Engine.delay 50_000;
+      Io_server.provide_input io 0 "yn");
+  Cluster.run c;
+  (match !got with
+  | [ a; b ] -> Alcotest.(check (pair char char)) "chars in order" ('y', 'n') (a, b)
+  | _ -> Alcotest.fail "expected two chars");
+  Alcotest.(check int) "each echoed" 2 (List.length (lines_of c io !area))
+
+let test_area_lifecycle () =
+  let c, _, io = setup () in
+  let count =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let a1 = Io_server.obtain_io_area io in
+        let a2 = Io_server.obtain_io_area io in
+        Io_server.destroy_io_area io a1;
+        let a3 = Io_server.obtain_io_area io in
+        (* freed area is reused *)
+        ignore a2;
+        if a3 = a1 then 1 else 0)
+  in
+  Alcotest.(check int) "area reuse" 1 count
+
+let test_areas_exhausted () =
+  let c, _, io = setup () in
+  let raised =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        for _ = 1 to Io_server.areas do
+          ignore (Io_server.obtain_io_area io)
+        done;
+        try
+          ignore (Io_server.obtain_io_area io);
+          false
+        with Errors.Server_error "NoFreeArea" -> true)
+  in
+  Alcotest.(check bool) "exhaustion detected" true raised
+
+let suites =
+  [
+    ( "io_server",
+      [
+        quick "committed black" test_committed_output_black;
+        quick "aborted struck" test_aborted_output_struck;
+        quick "in-progress gray" test_in_progress_gray;
+        quick "input bracketed" test_input_echoed_bracketed;
+        quick "screen restored after crash" test_screen_restored_after_crash;
+        quick "partial-line writes" test_write_partial_lines;
+        quick "read_char" test_read_char;
+        quick "area lifecycle" test_area_lifecycle;
+        quick "areas exhausted" test_areas_exhausted;
+      ] );
+  ]

@@ -1,0 +1,419 @@
+(* Tests for lock modes and the lock manager: compatibility, waiting,
+   timeouts (deadlock resolution), conditional locks, and subtransaction
+   lock transfer. *)
+
+open Tabs_sim
+open Tabs_wal
+open Tabs_lock
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let obj n = Object_id.make ~segment:1 ~offset:(8 * n) ~length:8
+
+let tid n = Tid.top ~node:1 ~seq:n
+
+let run_fibers fns =
+  let e = Engine.create () in
+  let lm = Lock_manager.create e () in
+  List.iter (fun f -> ignore (Engine.spawn e (fun () -> f e lm))) fns;
+  let _ = Engine.run e in
+  (e, lm)
+
+let test_mode_standard () =
+  Alcotest.(check bool) "r/r" true (Mode.standard Mode.Read Mode.Read);
+  Alcotest.(check bool) "r/w" false (Mode.standard Mode.Read Mode.Write);
+  Alcotest.(check bool) "w/w" false (Mode.standard Mode.Write Mode.Write)
+
+let test_mode_typed () =
+  let compat = Mode.with_typed [ ("enq", "deq") ] in
+  Alcotest.(check bool) "enq/deq" true
+    (compat (Mode.Typed "enq") (Mode.Typed "deq"));
+  Alcotest.(check bool) "deq/enq symmetric" true
+    (compat (Mode.Typed "deq") (Mode.Typed "enq"));
+  Alcotest.(check bool) "enq/enq" false
+    (compat (Mode.Typed "enq") (Mode.Typed "enq"));
+  Alcotest.(check bool) "typed vs write" false
+    (compat (Mode.Typed "enq") Mode.Write)
+
+let prop_mode_symmetric =
+  let gen =
+    QCheck.Gen.(
+      oneofl [ Mode.Read; Mode.Write; Mode.Typed "a"; Mode.Typed "b" ])
+  in
+  QCheck.Test.make ~name:"compatibility relations are symmetric" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen gen))
+    (fun (a, b) ->
+      let c1 = Mode.with_typed [ ("a", "b"); ("a", "a") ] in
+      c1 a b = c1 b a && Mode.standard a b = Mode.standard b a)
+
+let test_shared_readers () =
+  let granted = ref 0 in
+  let _ =
+    run_fibers
+      (List.init 3 (fun i _ lm ->
+           match Lock_manager.lock lm (tid i) (obj 0) Mode.Read () with
+           | Lock_manager.Granted -> incr granted
+           | Lock_manager.Timed_out | Lock_manager.Deadlocked -> ()))
+  in
+  Alcotest.(check int) "three concurrent readers" 3 !granted
+
+let test_writer_excludes () =
+  let order = ref [] in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+          order := "t1-granted" :: !order;
+          Engine.delay 100;
+          Lock_manager.release_all lm (tid 1);
+          order := "t1-released" :: !order);
+        (fun _ lm ->
+          Engine.delay 10;
+          ignore (Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ());
+          order := "t2-granted" :: !order);
+      ]
+  in
+  Alcotest.(check (list string))
+    "writer waits for release"
+    [ "t1-granted"; "t1-released"; "t2-granted" ]
+    (List.rev !order)
+
+let test_lock_timeout () =
+  let outcome = ref Lock_manager.Granted in
+  let e, lm =
+    run_fibers
+      [
+        (fun _ lm -> ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ()));
+        (fun _ lm ->
+          Engine.delay 10;
+          outcome :=
+            Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ~timeout:1000 ());
+      ]
+  in
+  Alcotest.(check bool) "timed out" true (!outcome = Lock_manager.Timed_out);
+  Alcotest.(check int) "counted" 1 (Lock_manager.timeouts lm);
+  ignore e
+
+let test_deadlock_broken_by_timeout () =
+  (* T1 holds A wants B; T2 holds B wants A. Both time out rather than
+     hang — the paper's deadlock resolution. *)
+  let timeouts = ref 0 in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+          Engine.delay 10;
+          (match Lock_manager.lock lm (tid 1) (obj 1) Mode.Write ~timeout:500 () with
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked -> incr timeouts
+          | Lock_manager.Granted -> ());
+          Lock_manager.release_all lm (tid 1));
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 2) (obj 1) Mode.Write ());
+          Engine.delay 10;
+          (match Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ~timeout:500 () with
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked -> incr timeouts
+          | Lock_manager.Granted -> ());
+          Lock_manager.release_all lm (tid 2));
+      ]
+  in
+  Alcotest.(check bool) "at least one victim" true (!timeouts >= 1)
+
+let test_conditional_lock () =
+  let results = ref [] in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          results := ("t1", Lock_manager.try_lock lm (tid 1) (obj 0) Mode.Write) :: !results;
+          Engine.delay 10);
+        (fun _ lm ->
+          Engine.delay 5;
+          results := ("t2", Lock_manager.try_lock lm (tid 2) (obj 0) Mode.Write) :: !results);
+      ]
+  in
+  Alcotest.(check (list (pair string bool)))
+    "conditional does not wait"
+    [ ("t1", true); ("t2", false) ]
+    (List.rev !results)
+
+let test_is_locked () =
+  let observed = ref [] in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          observed := ("before", Lock_manager.is_locked lm (obj 0)) :: !observed;
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Read ());
+          observed := ("held", Lock_manager.is_locked lm (obj 0)) :: !observed;
+          Lock_manager.release_all lm (tid 1);
+          observed := ("after", Lock_manager.is_locked lm (obj 0)) :: !observed);
+      ]
+  in
+  Alcotest.(check (list (pair string bool)))
+    "IsObjectLocked lifecycle"
+    [ ("before", false); ("held", true); ("after", false) ]
+    (List.rev !observed)
+
+let test_reentrant_and_upgrade () =
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Read ());
+          (* Re-request and upgrade with no competitor: immediate. *)
+          (match Lock_manager.lock lm (tid 1) (obj 0) Mode.Read ~timeout:10 () with
+          | Lock_manager.Granted -> ()
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked ->
+              Alcotest.fail "reentrant read blocked");
+          match Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ~timeout:10 () with
+          | Lock_manager.Granted -> ()
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked ->
+              Alcotest.fail "self upgrade blocked");
+      ]
+  in
+  ()
+
+let test_subtxn_sibling_conflict () =
+  (* Two subtransactions of the same parent conflict like strangers —
+     the paper's intra-transaction deadlock risk. *)
+  let top = tid 1 in
+  let s1 = Tid.child top ~index:0 and s2 = Tid.child top ~index:1 in
+  let blocked = ref false in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm s1 (obj 0) Mode.Write ());
+          Engine.delay 100);
+        (fun _ lm ->
+          Engine.delay 10;
+          match Lock_manager.lock lm s2 (obj 0) Mode.Write ~timeout:50 () with
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked -> blocked := true
+          | Lock_manager.Granted -> ());
+      ]
+  in
+  Alcotest.(check bool) "sibling blocked" true !blocked
+
+let test_subtxn_parent_not_blocking () =
+  let top = tid 1 in
+  let sub = Tid.child top ~index:0 in
+  let granted = ref false in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm top (obj 0) Mode.Write ());
+          match Lock_manager.lock lm sub (obj 0) Mode.Write ~timeout:50 () with
+          | Lock_manager.Granted -> granted := true
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked -> ());
+      ]
+  in
+  Alcotest.(check bool) "child passes ancestor's lock" true !granted
+
+let test_subtxn_transfer_to_parent () =
+  let top = tid 1 in
+  let sub = Tid.child top ~index:0 in
+  let stranger_blocked = ref false in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm sub (obj 0) Mode.Write ());
+          Lock_manager.transfer_to_parent lm sub;
+          (* Parent now holds it. *)
+          Alcotest.(check bool) "still locked" true (Lock_manager.is_locked lm (obj 0));
+          Alcotest.(check int) "parent holds" 1
+            (List.length (Lock_manager.held_by lm top)));
+        (fun _ lm ->
+          Engine.delay 10;
+          match Lock_manager.lock lm (tid 9) (obj 0) Mode.Write ~timeout:50 () with
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked ->
+              stranger_blocked := true
+          | Lock_manager.Granted -> ());
+      ]
+  in
+  Alcotest.(check bool) "stranger still excluded" true !stranger_blocked
+
+let test_subtxn_abort_releases () =
+  let top = tid 1 in
+  let sub = Tid.child top ~index:0 in
+  let granted = ref false in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm sub (obj 0) Mode.Write ());
+          Engine.delay 20;
+          Lock_manager.release_all lm sub);
+        (fun _ lm ->
+          Engine.delay 10;
+          match Lock_manager.lock lm (tid 9) (obj 0) Mode.Write ~timeout:500 () with
+          | Lock_manager.Granted -> granted := true
+          | Lock_manager.Timed_out | Lock_manager.Deadlocked -> ());
+      ]
+  in
+  Alcotest.(check bool) "released after subtxn abort" true !granted
+
+let test_typed_mode_concurrency () =
+  (* Weak-queue style: enqueue and dequeue commute; two enqueuers
+     conflict. *)
+  let compat = Mode.with_typed [ ("enq", "deq") ] in
+  let e = Engine.create () in
+  let lm = Lock_manager.create ~compatible:compat e () in
+  let results = ref [] in
+  let attempt name tid_ mode =
+    ignore
+      (Engine.spawn e (fun () ->
+           match Lock_manager.lock lm tid_ (obj 0) (Mode.Typed mode) ~timeout:100 () with
+           | Lock_manager.Granted -> results := (name, true) :: !results
+           | Lock_manager.Timed_out | Lock_manager.Deadlocked ->
+               results := (name, false) :: !results))
+  in
+  attempt "enq1" (tid 1) "enq";
+  attempt "deq" (tid 2) "deq";
+  attempt "enq2" (tid 3) "enq";
+  let _ = Engine.run e in
+  let find n = List.assoc n !results in
+  Alcotest.(check bool) "enq1 granted" true (find "enq1");
+  Alcotest.(check bool) "deq compatible" true (find "deq");
+  Alcotest.(check bool) "enq2 conflicts" false (find "enq2")
+
+let test_fifo_no_starvation () =
+  (* A queued writer blocks later readers even though those readers are
+     compatible with the current holder. *)
+  let log = ref [] in
+  let _ =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Read ());
+          Engine.delay 100;
+          Lock_manager.release_all lm (tid 1));
+        (fun _ lm ->
+          Engine.delay 10;
+          ignore (Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ());
+          log := "writer" :: !log;
+          Engine.delay 50;
+          Lock_manager.release_all lm (tid 2));
+        (fun _ lm ->
+          Engine.delay 20;
+          ignore (Lock_manager.lock lm (tid 3) (obj 0) Mode.Read ());
+          log := "late-reader" :: !log);
+      ]
+  in
+  Alcotest.(check (list string))
+    "writer first despite reader compatibility"
+    [ "writer"; "late-reader" ]
+    (List.rev !log)
+
+(* Deadlock detection (optional extension) ----------------------------- *)
+
+let test_detector_breaks_cycle () =
+  let e = Engine.create () in
+  let lm = Lock_manager.create ~detect_deadlocks:true e () in
+  let refused = ref 0 in
+  let t1_done = ref (-1) and t2_done = ref (-1) in
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+         Engine.delay 10;
+         (match Lock_manager.lock lm (tid 1) (obj 1) Mode.Write () with
+         | Lock_manager.Deadlocked -> incr refused
+         | Lock_manager.Granted | Lock_manager.Timed_out -> ());
+         Lock_manager.release_all lm (tid 1);
+         t1_done := Engine.now e));
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Lock_manager.lock lm (tid 2) (obj 1) Mode.Write ());
+         Engine.delay 15;
+         (match Lock_manager.lock lm (tid 2) (obj 0) Mode.Write () with
+         | Lock_manager.Deadlocked -> incr refused
+         | Lock_manager.Granted | Lock_manager.Timed_out -> ());
+         Lock_manager.release_all lm (tid 2);
+         t2_done := Engine.now e));
+  let _ = Engine.run e in
+  Alcotest.(check int) "exactly one victim, no timeout wait" 1 !refused;
+  Alcotest.(check int) "counted" 1 (Lock_manager.deadlocks_detected lm);
+  (* both transactions finished immediately — long before the 10 s
+     default time-out would have fired *)
+  Alcotest.(check bool) "both resolved fast" true
+    (!t1_done >= 0 && !t2_done >= 0 && !t1_done < 1_000_000
+    && !t2_done < 1_000_000)
+
+let test_detector_three_party_cycle () =
+  let e = Engine.create () in
+  let lm = Lock_manager.create ~detect_deadlocks:true e () in
+  let refused = ref 0 in
+  let spawn_party i holds wants =
+    ignore
+      (Engine.spawn e (fun () ->
+           ignore (Lock_manager.lock lm (tid i) (obj holds) Mode.Write ());
+           Engine.delay (10 * i);
+           (match Lock_manager.lock lm (tid i) (obj wants) Mode.Write () with
+           | Lock_manager.Deadlocked -> incr refused
+           | Lock_manager.Granted | Lock_manager.Timed_out -> ());
+           Lock_manager.release_all lm (tid i)))
+  in
+  spawn_party 1 0 1;
+  spawn_party 2 1 2;
+  spawn_party 3 2 0;
+  let _ = Engine.run e in
+  Alcotest.(check bool) "cycle of three broken" true (!refused >= 1)
+
+let test_detector_no_false_positives () =
+  (* a plain queue (no cycle) must not be refused *)
+  let e = Engine.create () in
+  let lm = Lock_manager.create ~detect_deadlocks:true e () in
+  let granted = ref 0 in
+  ignore
+    (Engine.spawn e (fun () ->
+         ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+         Engine.delay 50;
+         Lock_manager.release_all lm (tid 1);
+         incr granted));
+  ignore
+    (Engine.spawn e (fun () ->
+         Engine.delay 10;
+         match Lock_manager.lock lm (tid 2) (obj 0) Mode.Write () with
+         | Lock_manager.Granted -> incr granted
+         | Lock_manager.Timed_out | Lock_manager.Deadlocked -> ()));
+  let _ = Engine.run e in
+  Alcotest.(check int) "no false positive" 2 !granted;
+  Alcotest.(check int) "none detected" 0 (Lock_manager.deadlocks_detected lm)
+
+let suites =
+  [
+    ( "lock.mode",
+      [
+        quick "standard" test_mode_standard;
+        quick "typed" test_mode_typed;
+        QCheck_alcotest.to_alcotest prop_mode_symmetric;
+      ] );
+    ( "lock.manager",
+      [
+        quick "shared readers" test_shared_readers;
+        quick "writer excludes" test_writer_excludes;
+        quick "timeout" test_lock_timeout;
+        quick "deadlock broken" test_deadlock_broken_by_timeout;
+        quick "conditional" test_conditional_lock;
+        quick "is_locked" test_is_locked;
+        quick "reentrant/upgrade" test_reentrant_and_upgrade;
+        quick "typed concurrency" test_typed_mode_concurrency;
+        quick "fifo no starvation" test_fifo_no_starvation;
+      ] );
+    ( "lock.deadlock_detector",
+      [
+        quick "breaks two-party cycle" test_detector_breaks_cycle;
+        quick "breaks three-party cycle" test_detector_three_party_cycle;
+        quick "no false positives" test_detector_no_false_positives;
+      ] );
+    ( "lock.subtxn",
+      [
+        quick "sibling conflict" test_subtxn_sibling_conflict;
+        quick "ancestor passes" test_subtxn_parent_not_blocking;
+        quick "transfer to parent" test_subtxn_transfer_to_parent;
+        quick "abort releases" test_subtxn_abort_releases;
+      ] );
+  ]

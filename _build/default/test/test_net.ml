@@ -1,0 +1,266 @@
+(* Tests for the network medium and the Communication Manager: datagram
+   semantics, session at-most-once ordered delivery under loss,
+   permanent-failure detection, restart incarnations, broadcast, and
+   spanning-tree recording. *)
+
+open Tabs_sim
+open Tabs_wal
+open Tabs_net
+
+let quick name f = Alcotest.test_case name `Quick f
+
+type Network.payload += Msg of int
+
+let setup ?(nodes = 3) ?(seed = 5) () =
+  let engine = Engine.create () in
+  let net = Network.create engine ~seed in
+  let cms = List.init nodes (fun node -> Comm_mgr.create net ~node ()) in
+  (engine, net, cms)
+
+let cm cms i = List.nth cms i
+
+let test_datagram_delivery () =
+  let engine, _, cms = setup () in
+  let got = ref [] in
+  Comm_mgr.add_datagram_handler (cm cms 1) (fun ~src payload ->
+      match payload with Msg v -> got := (src, v) :: !got | _ -> ());
+  let _ =
+    Engine.spawn engine ~node:0 (fun () ->
+        Comm_mgr.send_datagram (cm cms 0) ~dest:1 (Msg 42))
+  in
+  let _ = Engine.run engine in
+  Alcotest.(check (list (pair int int))) "delivered with source" [ (0, 42) ] !got
+
+let test_datagram_costs () =
+  let engine, _, cms = setup () in
+  let _ =
+    Engine.spawn engine ~node:0 (fun () ->
+        Comm_mgr.send_datagrams_parallel (cm cms 0) ~dests:[ 1; 2 ] (Msg 1))
+  in
+  let _ = Engine.run engine in
+  (* 1 full + 1 half datagram = 1.5 weight, 37.5 ms *)
+  Alcotest.(check int) "elapsed 37.5ms" 37_500 (Engine.now engine);
+  Alcotest.(check bool) "weight 1.5" true
+    (abs_float (Metrics.weight (Engine.metrics engine) Cost_model.Datagram -. 1.5)
+    < 0.001)
+
+let test_datagram_unreliable () =
+  let engine, net, cms = setup () in
+  Network.set_loss net 1.0;
+  let got = ref 0 in
+  Comm_mgr.add_datagram_handler (cm cms 1) (fun ~src:_ _ -> incr got);
+  let _ =
+    Engine.spawn engine ~node:0 (fun () ->
+        Comm_mgr.send_datagram (cm cms 0) ~dest:1 (Msg 1))
+  in
+  let _ = Engine.run engine in
+  Alcotest.(check int) "dropped silently" 0 !got;
+  Alcotest.(check bool) "drop counted" true (Network.dropped net > 0)
+
+let test_session_ordered () =
+  let _engine, net, cms = setup () in
+  let engine = Network.engine net in
+  let got = ref [] in
+  Comm_mgr.set_session_handler (cm cms 1) (fun ~src:_ payload ->
+      match payload with Msg v -> got := v :: !got | _ -> ());
+  for v = 1 to 10 do
+    Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg v)
+  done;
+  let _ = Engine.run engine in
+  Alcotest.(check (list int)) "in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_session_survives_loss () =
+  (* with 40% loss, retransmission still delivers everything exactly
+     once, in order *)
+  let engine, net, cms = setup ~seed:77 () in
+  Network.set_loss net 0.4;
+  let got = ref [] in
+  Comm_mgr.set_session_handler (cm cms 1) (fun ~src:_ payload ->
+      match payload with Msg v -> got := v :: !got | _ -> ());
+  for v = 1 to 20 do
+    Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg v)
+  done;
+  let _ = Engine.run engine in
+  Alcotest.(check (list int)) "at-most-once, ordered, complete"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let prop_session_under_any_loss =
+  QCheck.Test.make ~name:"sessions deliver exactly once under any loss rate"
+    ~count:25
+    QCheck.(pair (int_range 0 35) small_int)
+    (fun (loss_pct, seed) ->
+      let engine, net, cms = setup ~nodes:2 ~seed:(seed + 1) () in
+      Network.set_loss net (float_of_int loss_pct /. 100.);
+      let got = ref [] in
+      Comm_mgr.set_session_handler (cm cms 1) (fun ~src:_ payload ->
+          match payload with Msg v -> got := v :: !got | _ -> ());
+      for v = 1 to 12 do
+        Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg v)
+      done;
+      let _ = Engine.run engine in
+      List.rev !got = List.init 12 (fun i -> i + 1))
+
+let test_session_failure_detection () =
+  let engine, net, cms = setup () in
+  let failed_peer = ref None in
+  Comm_mgr.set_failure_handler (cm cms 0) (fun ~peer -> failed_peer := Some peer);
+  Network.set_node_up net ~node:1 false;
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 1);
+  let _ = Engine.run engine in
+  Alcotest.(check (option int)) "dead peer reported" (Some 1) !failed_peer
+
+let test_session_incarnation_reset () =
+  (* after failure detection, traffic to the (restarted) peer uses a
+     fresh stream starting at sequence 0 *)
+  let engine, net, cms = setup () in
+  let got = ref [] in
+  Network.set_node_up net ~node:1 false;
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 1);
+  let _ = Engine.run engine in
+  (* peer comes back as a fresh incarnation *)
+  Network.set_node_up net ~node:1 true;
+  let cm1' = Comm_mgr.create net ~node:1 () in
+  Comm_mgr.set_session_handler cm1' (fun ~src:_ payload ->
+      match payload with Msg v -> got := v :: !got | _ -> ());
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 2);
+  let _ = Engine.run engine in
+  Alcotest.(check (list int)) "post-restart message delivered" [ 2 ] !got
+
+let test_session_reset_renumbers_unacked () =
+  (* the peer restarts mid-stream: messages it never acknowledged are
+     renumbered into a fresh stream and still delivered exactly once *)
+  let engine, net, cms = setup () in
+  let got = ref [] in
+  Comm_mgr.set_session_handler (cm cms 1) (fun ~src:_ payload ->
+      match payload with Msg v -> got := v :: !got | _ -> ());
+  (* deliver two messages normally *)
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 1);
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 2);
+  let _ = Engine.run engine in
+  (* peer goes down; two more messages are sent into the void *)
+  Network.set_node_up net ~node:1 false;
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 3);
+  Comm_mgr.session_send (cm cms 0) ~dest:1 (Msg 4);
+  Engine.run_until engine ~time:(Engine.now engine + 150_000);
+  (* peer restarts with a fresh Communication Manager before the sender
+     declares it dead; the reset handshake renumbers 3 and 4 *)
+  Network.set_node_up net ~node:1 true;
+  let cm1' = Comm_mgr.create net ~node:1 () in
+  Comm_mgr.set_session_handler cm1' (fun ~src:_ payload ->
+      match payload with Msg v -> got := v :: !got | _ -> ());
+  let _ = Engine.run engine in
+  Alcotest.(check (list int))
+    "all messages delivered exactly once, in order"
+    [ 1; 2; 3; 4 ] (List.rev !got)
+
+let test_broadcast () =
+  let engine, _, cms = setup () in
+  let got = ref [] in
+  List.iteri
+    (fun i c ->
+      if i > 0 then
+        Comm_mgr.set_broadcast_handler c (fun ~src payload ->
+            match payload with Msg v -> got := (i, src, v) :: !got | _ -> ()))
+    cms;
+  let _ =
+    Engine.spawn engine ~node:0 (fun () -> Comm_mgr.broadcast (cm cms 0) (Msg 9))
+  in
+  let _ = Engine.run engine in
+  Alcotest.(check (list (triple int int int)))
+    "all other nodes heard it"
+    [ (1, 0, 9); (2, 0, 9) ]
+    (List.sort compare !got)
+
+let test_partition () =
+  let engine, net, cms = setup () in
+  let got = ref 0 in
+  Comm_mgr.add_datagram_handler (cm cms 1) (fun ~src:_ _ -> incr got);
+  Network.set_partitioned net 0 1 true;
+  let _ =
+    Engine.spawn engine ~node:0 (fun () ->
+        Comm_mgr.send_datagram (cm cms 0) ~dest:1 (Msg 1))
+  in
+  let _ = Engine.run engine in
+  Alcotest.(check int) "blocked" 0 !got;
+  Network.set_partitioned net 0 1 false;
+  let _ =
+    Engine.spawn engine ~node:0 (fun () ->
+        Comm_mgr.send_datagram (cm cms 0) ~dest:1 (Msg 1))
+  in
+  let _ = Engine.run engine in
+  Alcotest.(check int) "healed" 1 !got
+
+(* Spanning tree ---------------------------------------------------------- *)
+
+let test_spanning_tree () =
+  let engine, _, cms = setup () in
+  let tid = Tid.top ~node:0 ~seq:1 in
+  let spread = ref [] in
+  List.iteri
+    (fun i c ->
+      Comm_mgr.set_remote_involvement_handler c (fun t ->
+          spread := (i, Tid.to_string t) :: !spread))
+    cms;
+  Comm_mgr.note_local_root (cm cms 0) tid;
+  (* 0 sends to 1; 1 sends onward to 2; replies flow back *)
+  Comm_mgr.session_send (cm cms 0) ~dest:1 ~tid (Msg 1);
+  let _ = Engine.run engine in
+  Comm_mgr.session_send (cm cms 1) ~dest:2 ~tid (Msg 2);
+  let _ = Engine.run engine in
+  (* replies: child to parent must not create edges *)
+  Comm_mgr.session_send (cm cms 2) ~dest:1 ~tid (Msg 3);
+  Comm_mgr.session_send (cm cms 1) ~dest:0 ~tid (Msg 4);
+  let _ = Engine.run engine in
+  Alcotest.(check (option int)) "root has no parent" None
+    (Comm_mgr.parent_of (cm cms 0) tid);
+  Alcotest.(check (list int)) "root's children" [ 1 ]
+    (Comm_mgr.children_of (cm cms 0) tid);
+  Alcotest.(check (option int)) "1's parent is 0" (Some 0)
+    (Comm_mgr.parent_of (cm cms 1) tid);
+  Alcotest.(check (list int)) "1's children" [ 2 ]
+    (Comm_mgr.children_of (cm cms 1) tid);
+  Alcotest.(check (option int)) "2's parent is 1" (Some 1)
+    (Comm_mgr.parent_of (cm cms 2) tid);
+  Alcotest.(check (list int)) "2 is a leaf" [] (Comm_mgr.children_of (cm cms 2) tid);
+  (* each node reported remote involvement exactly once *)
+  Alcotest.(check int) "three involvement notices" 3 (List.length !spread)
+
+let test_tree_forgotten () =
+  let engine, _, cms = setup () in
+  let tid = Tid.top ~node:0 ~seq:2 in
+  Comm_mgr.note_local_root (cm cms 0) tid;
+  Comm_mgr.session_send (cm cms 0) ~dest:1 ~tid (Msg 1);
+  let _ = Engine.run engine in
+  Alcotest.(check bool) "involved" true
+    (Comm_mgr.involved_remotely (cm cms 0) tid);
+  Comm_mgr.forget_txn (cm cms 0) tid;
+  Alcotest.(check bool) "forgotten" false
+    (Comm_mgr.involved_remotely (cm cms 0) tid)
+
+let suites =
+  [
+    ( "net.datagram",
+      [
+        quick "delivery" test_datagram_delivery;
+        quick "parallel costs" test_datagram_costs;
+        quick "unreliable" test_datagram_unreliable;
+        quick "partition" test_partition;
+      ] );
+    ( "net.session",
+      [
+        quick "ordered" test_session_ordered;
+        quick "survives loss" test_session_survives_loss;
+        quick "failure detection" test_session_failure_detection;
+        quick "incarnation reset" test_session_incarnation_reset;
+        quick "reset renumbers unacked" test_session_reset_renumbers_unacked;
+        QCheck_alcotest.to_alcotest prop_session_under_any_loss;
+      ] );
+    ("net.broadcast", [ quick "fan out" test_broadcast ]);
+    ( "net.tree",
+      [
+        quick "spanning tree" test_spanning_tree;
+        quick "forgotten" test_tree_forgotten;
+      ] );
+  ]

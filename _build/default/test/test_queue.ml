@@ -1,0 +1,323 @@
+(* Tests for the weak queue server: semi-queue semantics, failure
+   atomicity without serializability, tail recomputation after crash. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let setup ?(capacity = 16) () =
+  let c = Cluster.create ~nodes:1 () in
+  let node = Cluster.node c 0 in
+  let q =
+    Weak_queue_server.create (Node.env node) ~name:"queue" ~segment:2
+      ~capacity ()
+  in
+  (c, node, q)
+
+let test_fifo_when_serial () =
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let out =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        List.iter
+          (fun v ->
+            Txn_lib.execute_transaction tm (fun tid ->
+                Weak_queue_server.enqueue q tid v))
+          [ 10; 20; 30 ];
+        List.init 3 (fun _ ->
+            Txn_lib.execute_transaction tm (fun tid ->
+                Weak_queue_server.dequeue q tid)))
+  in
+  (* serial transactions leave no locked/aborted gaps: order preserved *)
+  Alcotest.(check (list int)) "serial use is FIFO" [ 10; 20; 30 ] out
+
+let test_empty_raises () =
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let raised =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.is_queue_empty q tid
+            &&
+            try
+              ignore (Weak_queue_server.dequeue q tid);
+              false
+            with Errors.Server_error "QueueEmpty" -> true))
+  in
+  Alcotest.(check bool) "empty detected and dequeue raises" true raised
+
+let test_aborted_enqueue_leaves_gap () =
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let out =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.enqueue q tid 1);
+        (let t2 = Txn_lib.begin_transaction tm () in
+         Weak_queue_server.enqueue q t2 999;
+         Txn_lib.abort_transaction tm t2);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.enqueue q tid 3);
+        List.init 2 (fun _ ->
+            Txn_lib.execute_transaction tm (fun tid ->
+                Weak_queue_server.dequeue q tid)))
+  in
+  Alcotest.(check (list int)) "aborted element skipped" [ 1; 3 ] out
+
+let test_dequeue_skips_locked () =
+  (* While one transaction holds the head element (uncommitted
+     dequeue), another can dequeue the next element — the weak-queue
+     concurrency the paper wanted. *)
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let second = ref 0 in
+  Cluster.spawn c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Weak_queue_server.enqueue q tid 100);
+      Txn_lib.execute_transaction tm (fun tid ->
+          Weak_queue_server.enqueue q tid 200));
+  Cluster.spawn c ~node:0 (fun () ->
+      Engine.delay 400_000;
+      Txn_lib.execute_transaction tm (fun tid ->
+          ignore (Weak_queue_server.dequeue q tid);
+          (* hold 100 locked while the other transaction runs *)
+          Engine.delay 300_000));
+  Cluster.spawn c ~node:0 (fun () ->
+      Engine.delay 500_000;
+      Txn_lib.execute_transaction tm (fun tid ->
+          second := Weak_queue_server.dequeue q tid));
+  Cluster.run c;
+  Alcotest.(check int) "second txn got the second element" 200 !second
+
+let test_aborted_dequeue_restores () =
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let out =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.enqueue q tid 42);
+        (let t = Txn_lib.begin_transaction tm () in
+         ignore (Weak_queue_server.dequeue q t);
+         Txn_lib.abort_transaction tm t);
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.dequeue q tid))
+  in
+  Alcotest.(check int) "element restored after aborted dequeue" 42 out
+
+let test_queue_full () =
+  let c, node, q = setup ~capacity:4 () in
+  let tm = Node.tm node in
+  let raised =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            for i = 1 to 4 do
+              Weak_queue_server.enqueue q tid i
+            done;
+            try
+              Weak_queue_server.enqueue q tid 5;
+              false
+            with Errors.Server_error "QueueFull" -> true))
+  in
+  Alcotest.(check bool) "full detected" true raised
+
+let test_garbage_collection_reuses_slots () =
+  let c, node, q = setup ~capacity:4 () in
+  let tm = Node.tm node in
+  let ok =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        (* cycle more elements than the capacity: only works if the head
+           pointer advances (GC as a side effect of enqueue) *)
+        for i = 1 to 12 do
+          Txn_lib.execute_transaction tm (fun tid ->
+              Weak_queue_server.enqueue q tid i);
+          Txn_lib.execute_transaction tm (fun tid ->
+              ignore (Weak_queue_server.dequeue q tid))
+        done;
+        true)
+  in
+  Alcotest.(check bool) "12 elements cycled through capacity 4" true ok
+
+let test_tail_recomputed_after_crash () =
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      List.iter
+        (fun v ->
+          Txn_lib.execute_transaction tm (fun tid ->
+              Weak_queue_server.enqueue q tid v))
+        [ 7; 8; 9 ];
+      Txn_lib.execute_transaction tm (fun tid ->
+          ignore (Weak_queue_server.dequeue q tid)));
+  let old_tail = Weak_queue_server.tail q in
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node ~reinstall:(fun env ->
+             holder :=
+               Some
+                 (Weak_queue_server.create env ~name:"queue" ~segment:2
+                    ~capacity:16 ())) ()));
+  let q' = Option.get !holder in
+  (* the recomputation is lazy: any first operation triggers it *)
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+             Weak_queue_server.is_queue_empty q' tid)));
+  Alcotest.(check int) "tail recomputed from InUse bits" old_tail
+    (Weak_queue_server.tail q');
+  let rest =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        List.init 2 (fun _ ->
+            Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+                Weak_queue_server.dequeue q' tid)))
+  in
+  Alcotest.(check (list int)) "remaining elements survive" [ 8; 9 ] rest
+
+let test_concurrent_first_ops_no_clobber () =
+  (* Regression: the lazy tail recomputation suspends on page faults; a
+     concurrent first operation must not overwrite a reserved tail slot
+     (this once lost the first enqueued element). *)
+  let c, node, q = setup () in
+  let tm = Node.tm node in
+  let got = ref [] in
+  (* producer and consumer both issue their first operation at t=0 *)
+  Cluster.spawn c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Weak_queue_server.enqueue q tid 111);
+      Txn_lib.execute_transaction tm (fun tid ->
+          Weak_queue_server.enqueue q tid 222));
+  Cluster.spawn c ~node:0 (fun () ->
+      let rec poll tries =
+        if tries > 0 then
+          match
+            Txn_lib.execute_transaction tm (fun tid ->
+                Weak_queue_server.dequeue q tid)
+          with
+          | v ->
+              got := v :: !got;
+              poll (tries - 1)
+          | exception Errors.Server_error "QueueEmpty" ->
+              Engine.delay 30_000;
+              poll (tries - 1)
+      in
+      poll 60);
+  Cluster.run c;
+  Alcotest.(check (list int))
+    "both elements seen, none lost"
+    [ 111; 222 ]
+    (List.sort compare !got)
+
+let test_wraparound_crash_recompute () =
+  (* cycle through a small capacity several times so slots wrap, leave a
+     couple of elements resident, crash, and check the recomputed tail
+     still bounds exactly the live elements *)
+  let c, node, q = setup ~capacity:4 () in
+  let tm = Node.tm node in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      for i = 1 to 9 do
+        Txn_lib.execute_transaction tm (fun tid ->
+            Weak_queue_server.enqueue q tid i);
+        if i <= 7 then
+          Txn_lib.execute_transaction tm (fun tid ->
+              ignore (Weak_queue_server.dequeue q tid))
+      done);
+  (* elements 8 and 9 are live, in wrapped slots *)
+  Node.crash node;
+  let holder = ref None in
+  ignore
+    (Cluster.run_fiber c ~node:0 (fun () ->
+         Node.restart node
+           ~reinstall:(fun env ->
+             holder :=
+               Some
+                 (Weak_queue_server.create env ~name:"queue" ~segment:2
+                    ~capacity:4 ()))
+           ()));
+  let q' = Option.get !holder in
+  let survivors =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let rec drain acc =
+          match
+            Txn_lib.execute_transaction (Node.tm node) (fun tid ->
+                Weak_queue_server.dequeue q' tid)
+          with
+          | v -> drain (v :: acc)
+          | exception Errors.Server_error "QueueEmpty" -> List.rev acc
+        in
+        drain [])
+  in
+  Alcotest.(check (list int)) "wrapped live elements recovered" [ 8; 9 ]
+    survivors
+
+let prop_no_loss_no_dup =
+  QCheck.Test.make ~name:"queue neither loses nor duplicates" ~count:30
+    QCheck.(list (int_range 0 2))
+    (fun script ->
+      (* script: 0 = enqueue fresh value; 1 = dequeue (commit);
+         2 = dequeue then abort. Committed dequeues must be a
+         permutation of a subset of committed enqueues, with
+         everything else still in the queue. *)
+      let c, node, q = setup ~capacity:64 () in
+      let tm = Node.tm node in
+      let next = ref 0 in
+      let enqueued = ref [] and dequeued = ref [] in
+      Cluster.run_fiber c ~node:0 (fun () ->
+          List.iter
+            (fun action ->
+              match action with
+              | 0 -> (
+                  incr next;
+                  let v = !next in
+                  match
+                    Txn_lib.execute_transaction tm (fun tid ->
+                        Weak_queue_server.enqueue q tid v)
+                  with
+                  | () -> enqueued := v :: !enqueued
+                  | exception Errors.Server_error "QueueFull" -> ())
+              | 1 -> (
+                  try
+                    let v =
+                      Txn_lib.execute_transaction tm (fun tid ->
+                          Weak_queue_server.dequeue q tid)
+                    in
+                    dequeued := v :: !dequeued
+                  with Errors.Server_error "QueueEmpty" -> ())
+              | _ -> (
+                  let t = Txn_lib.begin_transaction tm () in
+                  (try ignore (Weak_queue_server.dequeue q t)
+                   with Errors.Server_error "QueueEmpty" -> ());
+                  Txn_lib.abort_transaction tm t))
+            script;
+          (* drain what remains *)
+          let rec drain acc =
+            match
+              Txn_lib.execute_transaction tm (fun tid ->
+                  Weak_queue_server.dequeue q tid)
+            with
+            | v -> drain (v :: acc)
+            | exception Errors.Server_error "QueueEmpty" -> acc
+          in
+          let remaining = drain [] in
+          let seen = List.sort compare (!dequeued @ remaining) in
+          seen = List.sort compare !enqueued))
+
+let suites =
+  [
+    ( "queue",
+      [
+        quick "serial fifo" test_fifo_when_serial;
+        quick "empty" test_empty_raises;
+        quick "aborted enqueue gap" test_aborted_enqueue_leaves_gap;
+        quick "dequeue skips locked" test_dequeue_skips_locked;
+        quick "aborted dequeue restores" test_aborted_dequeue_restores;
+        quick "queue full" test_queue_full;
+        quick "gc reuses slots" test_garbage_collection_reuses_slots;
+        quick "tail recomputed after crash" test_tail_recomputed_after_crash;
+        quick "concurrent first ops" test_concurrent_first_ops_no_clobber;
+        quick "wraparound + crash" test_wraparound_crash_recompute;
+        QCheck_alcotest.to_alcotest prop_no_loss_no_dup;
+      ] );
+  ]

@@ -1,0 +1,252 @@
+(* Unit tests of the Recovery Manager's algorithms, driven directly at
+   the Recovery_mgr level (no data servers): the single backward pass of
+   value recovery across tricky interleavings, the status analysis, the
+   prepared/in-doubt handling, and a model-based property over random
+   commit/abort/crash schedules. *)
+
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+open Tabs_accent
+open Tabs_recovery
+
+let quick name f = Alcotest.test_case name `Quick f
+
+type rig = {
+  engine : Engine.t;
+  disk : Disk.t;
+  stable : Stable.t;
+  mutable vm : Vm.t;
+  mutable log : Log_manager.t;
+  mutable rm : Recovery_mgr.t;
+}
+
+let make_rig () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine in
+  Disk.ensure_segment disk 1 ~pages:8;
+  let stable = Stable.create () in
+  let vm = Vm.attach engine disk ~frames:16 in
+  let log = Log_manager.attach engine stable in
+  let rm = Recovery_mgr.create engine ~node:0 ~log ~vm () in
+  { engine; disk; stable; vm; log; rm }
+
+(* simulate a crash: rebuild all volatile structures *)
+let crash_and_recover rig =
+  let vm = Vm.attach rig.engine rig.disk ~frames:16 in
+  let log = Log_manager.attach rig.engine rig.stable in
+  let rm = Recovery_mgr.create rig.engine ~node:0 ~log ~vm () in
+  rig.vm <- vm;
+  rig.log <- log;
+  rig.rm <- rm;
+  Recovery_mgr.recover rm
+
+let obj n = Object_id.make ~segment:1 ~offset:(8 * n) ~length:8
+
+let run_fiber rig f =
+  let out = ref None in
+  let _ = Engine.spawn rig.engine (fun () -> out := Some (f ())) in
+  let _ = Engine.run rig.engine in
+  Option.get !out
+
+(* forward-processing helpers *)
+let write rig tid n value =
+  Vm.pin rig.vm (obj n) ~access:`Random;
+  let old_value = Vm.read rig.vm (obj n) ~access:`Random in
+  Vm.write rig.vm (obj n) value;
+  ignore (Recovery_mgr.log_value rig.rm ~tid ~obj:(obj n) ~old_value ~new_value:value);
+  Vm.unpin rig.vm (obj n)
+
+let commit rig tid =
+  let lsn = Recovery_mgr.append_tm_record rig.rm (Record.Txn_commit tid) in
+  Recovery_mgr.force_through rig.rm lsn
+
+let read_disk rig n =
+  let (pid : Disk.page_id) = List.hd (Object_id.pages (obj n)) in
+  let page = Disk.read_nocharge rig.disk pid in
+  Page.sub page ~off:(8 * n mod Page.size) ~len:8
+
+let v8 s = Printf.sprintf "%-8s" s
+
+let test_committed_redone () =
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let tid = Tid.top ~node:0 ~seq:1 in
+      write rig tid 0 (v8 "new");
+      commit rig tid);
+  (* page never flushed: disk holds zeroes; recovery must install the
+     committed value *)
+  let outcome = run_fiber rig (fun () -> crash_and_recover rig) in
+  Alcotest.(check int) "no losers" 0 (List.length outcome.losers);
+  Alcotest.(check string) "redone to disk" (v8 "new") (read_disk rig 0)
+
+let test_uncommitted_undone_from_disk () =
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 in
+      write rig t1 0 (v8 "keep");
+      commit rig t1;
+      let t2 = Tid.top ~node:0 ~seq:2 in
+      write rig t2 0 (v8 "dirty");
+      (* WAL: force the log, then let the dirty page reach disk *)
+      Log_manager.force_all rig.log;
+      Vm.flush_all rig.vm);
+  let outcome = run_fiber rig (fun () -> crash_and_recover rig) in
+  Alcotest.(check int) "one loser" 1 (List.length outcome.losers);
+  Alcotest.(check string) "old value restored" (v8 "keep") (read_disk rig 0)
+
+let test_multiple_updates_same_txn () =
+  (* a loser that updated the same object twice must roll back to the
+     oldest old-value, even if undo half-finished before the crash *)
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 in
+      write rig t1 0 (v8 "first");
+      commit rig t1;
+      let t2 = Tid.top ~node:0 ~seq:2 in
+      write rig t2 0 (v8 "second");
+      write rig t2 0 (v8 "third");
+      Log_manager.force_all rig.log;
+      Vm.flush_all rig.vm);
+  ignore (run_fiber rig (fun () -> crash_and_recover rig));
+  Alcotest.(check string) "back to the committed image" (v8 "first")
+    (read_disk rig 0)
+
+let test_abort_then_overwrite_then_crash () =
+  (* T2 aborts (undone in place, locks released); T3 then commits a new
+     value. The backward pass must finalize T3's value and ignore T2's
+     stale record. *)
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 in
+      write rig t1 0 (v8 "base");
+      commit rig t1;
+      let t2 = Tid.top ~node:0 ~seq:2 in
+      write rig t2 0 (v8 "undone");
+      Recovery_mgr.abort rig.rm ~tid:t2;
+      let t3 = Tid.top ~node:0 ~seq:3 in
+      write rig t3 0 (v8 "final");
+      commit rig t3);
+  ignore (run_fiber rig (fun () -> crash_and_recover rig));
+  Alcotest.(check string) "latest committed wins" (v8 "final") (read_disk rig 0)
+
+let test_prepared_applied_and_in_doubt () =
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let tid = Tid.top ~node:0 ~seq:4 in
+      write rig tid 0 (v8 "maybe");
+      let lsn = Recovery_mgr.append_tm_record rig.rm (Record.Txn_prepare (tid, 2)) in
+      Recovery_mgr.force_through rig.rm lsn);
+  let outcome = run_fiber rig (fun () -> crash_and_recover rig) in
+  (* prepared data is applied ("reflect only the operations of committed
+     and prepared transactions") but reported in doubt *)
+  Alcotest.(check int) "in doubt" 1 (List.length outcome.in_doubt);
+  (match outcome.in_doubt with
+  | [ (_, coordinator) ] -> Alcotest.(check int) "coordinator" 2 coordinator
+  | _ -> Alcotest.fail "expected one in-doubt txn");
+  Alcotest.(check string) "applied" (v8 "maybe") (read_disk rig 0);
+  Alcotest.(check int) "its objects need relocking" 1
+    (List.length outcome.written_objects);
+  (* the coordinator later says Abort: the chain is still walkable *)
+  run_fiber rig (fun () ->
+      match outcome.in_doubt with
+      | [ (tid, _) ] -> Recovery_mgr.abort rig.rm ~tid
+      | _ -> ());
+  run_fiber rig (fun () -> Vm.flush_all rig.vm);
+  Alcotest.(check string) "post-verdict undo" (String.make 8 '\000')
+    (read_disk rig 0)
+
+let test_subtxn_abort_record_respected () =
+  (* a subtransaction abort record makes its updates losers even though
+     the top-level transaction commits *)
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let top = Tid.top ~node:0 ~seq:5 in
+      let sub = Tid.child top ~index:0 in
+      write rig top 0 (v8 "parent");
+      write rig sub 1 (v8 "child");
+      Recovery_mgr.abort rig.rm ~tid:sub;
+      commit rig top);
+  ignore (run_fiber rig (fun () -> crash_and_recover rig));
+  Alcotest.(check string) "parent update survives" (v8 "parent") (read_disk rig 0);
+  Alcotest.(check string) "aborted subtxn update does not"
+    (String.make 8 '\000') (read_disk rig 1)
+
+let test_checkpoint_bounds_nothing_lost () =
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:6 in
+      write rig t1 0 (v8 "before");
+      commit rig t1;
+      ignore (Recovery_mgr.checkpoint rig.rm);
+      let t2 = Tid.top ~node:0 ~seq:7 in
+      write rig t2 1 (v8 "after");
+      commit rig t2);
+  ignore (run_fiber rig (fun () -> crash_and_recover rig));
+  Alcotest.(check string) "pre-checkpoint update" (v8 "before") (read_disk rig 0);
+  Alcotest.(check string) "post-checkpoint update" (v8 "after") (read_disk rig 1)
+
+(* Model-based property: a random schedule of commit/abort/crash over
+   several objects; after every crash+recovery, the disk must equal the
+   model of committed values. *)
+let prop_random_schedules =
+  QCheck.Test.make ~name:"value recovery matches model on random schedules"
+    ~count:40
+    QCheck.(
+      list_of_size (Gen.int_bound 50)
+        (pair (int_range 0 3) (pair (int_range 0 3) (int_range 0 2))))
+    (fun script ->
+      let rig = make_rig () in
+      let model = Array.make 4 (String.make 8 '\000') in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (n, (value_tag, action)) ->
+          incr seq;
+          let value = v8 (Printf.sprintf "v%d" value_tag) in
+          match action with
+          | 0 ->
+              (* committed write *)
+              run_fiber rig (fun () ->
+                  let tid = Tid.top ~node:0 ~seq:!seq in
+                  write rig tid n value;
+                  commit rig tid);
+              model.(n) <- value
+          | 1 ->
+              (* aborted write *)
+              run_fiber rig (fun () ->
+                  let tid = Tid.top ~node:0 ~seq:!seq in
+                  write rig tid n value;
+                  Recovery_mgr.abort rig.rm ~tid)
+          | _ ->
+              (* uncommitted write, everything leaks to disk, crash *)
+              run_fiber rig (fun () ->
+                  let tid = Tid.top ~node:0 ~seq:!seq in
+                  write rig tid n value;
+                  Log_manager.force_all rig.log;
+                  Vm.flush_all rig.vm);
+              ignore (run_fiber rig (fun () -> crash_and_recover rig));
+              for i = 0 to 3 do
+                if read_disk rig i <> model.(i) then ok := false
+              done)
+        script;
+      ignore (run_fiber rig (fun () -> crash_and_recover rig));
+      for i = 0 to 3 do
+        if read_disk rig i <> model.(i) then ok := false
+      done;
+      !ok)
+
+let suites =
+  [
+    ( "recovery.value",
+      [
+        quick "committed redone" test_committed_redone;
+        quick "uncommitted undone" test_uncommitted_undone_from_disk;
+        quick "multi-update rollback" test_multiple_updates_same_txn;
+        quick "abort then overwrite" test_abort_then_overwrite_then_crash;
+        quick "prepared in doubt" test_prepared_applied_and_in_doubt;
+        quick "subtxn abort record" test_subtxn_abort_record_respected;
+        quick "checkpoint bounds" test_checkpoint_bounds_nothing_lost;
+        QCheck_alcotest.to_alcotest prop_random_schedules;
+      ] );
+  ]

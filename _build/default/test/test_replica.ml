@@ -1,0 +1,195 @@
+(* Tests for the replicated directory object: weighted-voting quorums,
+   multi-node atomic update via distributed commit, availability with a
+   dead representative, and recovery of a stale representative. *)
+
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* three nodes, one single-vote representative per node, r = w = 2 *)
+let setup () =
+  let c = Cluster.create ~nodes:3 () in
+  let reps =
+    List.map
+      (fun node ->
+        let name = Printf.sprintf "rep%d" (Node.id node) in
+        let bt =
+          Btree_server.create (Node.env node) ~name ~segment:5 ()
+        in
+        (node, name, bt))
+      (Cluster.nodes c)
+  in
+  let replicas =
+    List.map
+      (fun (node, name, _) ->
+        { Replicated_directory.node = Node.id node; server = name; votes = 1 })
+      reps
+  in
+  let dir =
+    Replicated_directory.create ~rpc:(Node.rpc (Cluster.node c 0)) ~replicas
+      ~read_quorum:2 ~write_quorum:2
+  in
+  (c, reps, dir)
+
+let test_quorum_validation () =
+  let replicas =
+    [ { Replicated_directory.node = 0; server = "a"; votes = 1 };
+      { Replicated_directory.node = 1; server = "b"; votes = 1 };
+      { Replicated_directory.node = 2; server = "c"; votes = 1 } ]
+  in
+  let c = Cluster.create ~nodes:1 () in
+  let rpc = Node.rpc (Cluster.node c 0) in
+  Alcotest.check_raises "r+w too small"
+    (Invalid_argument "Replicated_directory: r + w must exceed the vote total")
+    (fun () ->
+      ignore
+        (Replicated_directory.create ~rpc ~replicas ~read_quorum:1
+           ~write_quorum:2));
+  Alcotest.check_raises "w not majority"
+    (Invalid_argument "Replicated_directory: w must be a majority")
+    (fun () ->
+      ignore
+        (Replicated_directory.create ~rpc ~replicas ~read_quorum:3
+           ~write_quorum:1))
+
+let test_update_lookup () =
+  let c, _, dir = setup () in
+  let tm = Node.tm (Cluster.node c 0) in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.update dir tid ~key:"host" ~value:"perq1");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.lookup dir tid ~key:"host"))
+  in
+  Alcotest.(check (option string)) "replicated write read back" (Some "perq1") v
+
+let test_versions_advance () =
+  let c, _, dir = setup () in
+  let tm = Node.tm (Cluster.node c 0) in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.update dir tid ~key:"k" ~value:"v1");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.update dir tid ~key:"k" ~value:"v2");
+        Txn_lib.execute_transaction tm (fun tid ->
+            ( Replicated_directory.entry_version dir tid ~key:"k",
+              Replicated_directory.lookup dir tid ~key:"k" )))
+  in
+  Alcotest.(check (pair int (option string))) "version 2 wins" (2, Some "v2") v
+
+let test_remove () =
+  let c, _, dir = setup () in
+  let tm = Node.tm (Cluster.node c 0) in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.update dir tid ~key:"gone" ~value:"x");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.remove dir tid ~key:"gone");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.lookup dir tid ~key:"gone"))
+  in
+  Alcotest.(check (option string)) "tombstone hides entry" None v
+
+let test_available_with_node_down () =
+  (* "Our tests so far involve 3 nodes, which permits one node to fail
+     and have the data remain available." *)
+  let c, _, dir = setup () in
+  let tm = Node.tm (Cluster.node c 0) in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"svc" ~value:"before"));
+  Node.crash (Cluster.node c 2);
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.update dir tid ~key:"svc" ~value:"after");
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.lookup dir tid ~key:"svc"))
+  in
+  Alcotest.(check (option string)) "write and read with a node down"
+    (Some "after") v
+
+let test_stale_replica_outvoted () =
+  (* Node 2 misses an update while down; after it returns, the read
+     quorum still surfaces the newest version because any two
+     representatives include an up-to-date one. *)
+  let c, _, dir = setup () in
+  let n2 = Cluster.node c 2 in
+  let tm = Node.tm (Cluster.node c 0) in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"cfg" ~value:"v1"));
+  Node.crash n2;
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"cfg" ~value:"v2"));
+  ignore
+    (Cluster.run_fiber c ~node:2 (fun () ->
+         Node.restart n2 ~reinstall:(fun env ->
+             ignore (Btree_server.create env ~name:"rep2" ~segment:5 ())) ()));
+  (* read via a directory handle whose replica order starts with the
+     stale representative *)
+  let dir_from_2 =
+    Replicated_directory.create ~rpc:(Node.rpc (Cluster.node c 0))
+      ~replicas:
+        [ { Replicated_directory.node = 2; server = "rep2"; votes = 1 };
+          { Replicated_directory.node = 0; server = "rep0"; votes = 1 };
+          { Replicated_directory.node = 1; server = "rep1"; votes = 1 } ]
+      ~read_quorum:2 ~write_quorum:2
+  in
+  let v =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Replicated_directory.lookup dir_from_2 tid ~key:"cfg"))
+  in
+  Alcotest.(check (option string)) "stale copy outvoted" (Some "v2") v
+
+let test_no_quorum_aborts () =
+  let c, reps, dir = setup () in
+  let tm = Node.tm (Cluster.node c 0) in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      Txn_lib.execute_transaction tm (fun tid ->
+          Replicated_directory.update dir tid ~key:"x" ~value:"ok"));
+  Node.crash (Cluster.node c 1);
+  Node.crash (Cluster.node c 2);
+  let raised =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        try
+          Txn_lib.execute_transaction tm (fun tid ->
+              Replicated_directory.update dir tid ~key:"x" ~value:"bad");
+          false
+        with Errors.Server_error "NoQuorum" -> true)
+  in
+  Alcotest.(check bool) "update without quorum aborts" true raised;
+  (* the aborted attempt must not have touched the surviving copy *)
+  let _, _, bt0 = List.hd reps in
+  let local =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Txn_lib.execute_transaction tm (fun tid ->
+            Btree_server.lookup bt0 tid ~key:"x"))
+  in
+  (match local with
+  | Some encoded ->
+      Alcotest.(check bool) "old payload intact" true
+        (String.length encoded > 9
+        && String.sub encoded 9 (String.length encoded - 9) = "ok")
+  | None -> Alcotest.fail "entry vanished");
+  ()
+
+let suites =
+  [
+    ( "replicated_directory",
+      [
+        quick "quorum validation" test_quorum_validation;
+        quick "update/lookup" test_update_lookup;
+        quick "versions advance" test_versions_advance;
+        quick "remove" test_remove;
+        quick "available with node down" test_available_with_node_down;
+        quick "stale replica outvoted" test_stale_replica_outvoted;
+        quick "no quorum aborts" test_no_quorum_aborts;
+      ] );
+  ]

@@ -1,0 +1,290 @@
+(* Tests for the simulation substrate: heap, clock, fibers, wait queues,
+   metrics, crash semantics. *)
+
+open Tabs_sim
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k (string_of_int k)) [ 5; 1; 9; 1; 3 ];
+  let order = ref [] in
+  while not (Heap.is_empty h) do
+    let k, v = Heap.pop_min h in
+    order := (k, v) :: !order
+  done;
+  Alcotest.(check (list (pair int string)))
+    "sorted, FIFO among ties"
+    [ (1, "1"); (1, "1"); (3, "3"); (5, "5"); (9, "9") ]
+    (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~key:7 v) [ "a"; "b"; "c" ];
+  let vs = List.init 3 (fun _ -> snd (Heap.pop_min h)) in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c" ] vs
+
+let test_heap_random_sorted () =
+  let rng = Rng.create ~seed:42 in
+  let h = Heap.create () in
+  let keys = List.init 500 (fun _ -> Rng.int rng 1000) in
+  List.iter (fun k -> Heap.push h ~key:k k) keys;
+  let out = List.init 500 (fun _ -> fst (Heap.pop_min h)) in
+  Alcotest.(check (list int)) "heap sorts" (List.sort compare keys) out
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let times = ref [] in
+  Engine.at e ~delay:100 (fun () -> times := Engine.now e :: !times);
+  Engine.at e ~delay:50 (fun () -> times := Engine.now e :: !times);
+  let _ = Engine.run e in
+  Alcotest.(check (list int)) "events in time order" [ 50; 100 ] (List.rev !times);
+  Alcotest.(check int) "clock at last event" 100 (Engine.now e)
+
+let test_fiber_delay () =
+  let e = Engine.create () in
+  let finished = ref (-1) in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.delay 10;
+        Engine.delay 20;
+        finished := Engine.now e)
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "delays accumulate" 30 !finished
+
+let test_fiber_charge_costs () =
+  let e = Engine.create () in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.charge e Cost_model.Small_contiguous_message;
+        Engine.charge e Cost_model.Stable_storage_write)
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "elapsed = 3ms + 79ms" 82_000 (Engine.now e);
+  Alcotest.(check int) "metrics counted small msg" 1
+    (Metrics.count (Engine.metrics e) Cost_model.Small_contiguous_message)
+
+let test_waitq_signal () =
+  let e = Engine.create () in
+  let q = Engine.Waitq.create () in
+  let got = ref 0 in
+  let _ = Engine.spawn e (fun () -> got := Engine.Waitq.wait q) in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.delay 5;
+        ignore (Engine.Waitq.signal q ~engine:e 42))
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "value passed through" 42 !got
+
+let test_waitq_timeout () =
+  let e = Engine.create () in
+  let q : int Engine.Waitq.t = Engine.Waitq.create () in
+  let result = ref (Some 0) in
+  let _ =
+    Engine.spawn e (fun () ->
+        result := Engine.Waitq.wait_timeout q ~engine:e ~timeout:100)
+  in
+  let _ = Engine.run e in
+  Alcotest.(check bool) "timed out" true (!result = None);
+  Alcotest.(check int) "waited full timeout" 100 (Engine.now e)
+
+let test_waitq_signal_beats_timeout () =
+  let e = Engine.create () in
+  let q : int Engine.Waitq.t = Engine.Waitq.create () in
+  let result = ref None in
+  let _ =
+    Engine.spawn e (fun () ->
+        result := Engine.Waitq.wait_timeout q ~engine:e ~timeout:100)
+  in
+  Engine.at e ~delay:10 (fun () -> ignore (Engine.Waitq.signal q ~engine:e 7));
+  let _ = Engine.run e in
+  Alcotest.(check bool) "signaled in time" true (!result = Some 7)
+
+let test_waitq_fifo () =
+  let e = Engine.create () in
+  let q = Engine.Waitq.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e (fun () ->
+           let v = Engine.Waitq.wait q in
+           order := (i, v) :: !order))
+  done;
+  Engine.at e ~delay:1 (fun () ->
+      ignore (Engine.Waitq.signal_all q ~engine:e 0));
+  let _ = Engine.run e in
+  Alcotest.(check (list (pair int int)))
+    "woken in wait order"
+    [ (1, 0); (2, 0); (3, 0) ]
+    (List.rev !order)
+
+let test_crash_kills_fiber () =
+  let e = Engine.create () in
+  let q : unit Engine.Waitq.t = Engine.Waitq.create () in
+  let reached = ref false in
+  let _ =
+    Engine.spawn e ~node:1 (fun () ->
+        Engine.Waitq.wait q;
+        reached := true)
+  in
+  Engine.at e ~delay:10 (fun () -> Engine.crash_node e 1);
+  Engine.at e ~delay:20 (fun () ->
+      ignore (Engine.Waitq.signal q ~engine:e ()));
+  let _ = Engine.run e in
+  Alcotest.(check bool) "crashed fiber never resumes" false !reached
+
+let test_crash_spares_other_nodes () =
+  let e = Engine.create () in
+  let survived = ref false in
+  let _ =
+    Engine.spawn e ~node:2 (fun () ->
+        Engine.delay 50;
+        survived := true)
+  in
+  Engine.at e ~delay:10 (fun () -> Engine.crash_node e 1);
+  let _ = Engine.run e in
+  Alcotest.(check bool) "node 2 fiber survives" true !survived
+
+let test_restart_after_crash () =
+  let e = Engine.create () in
+  let runs = ref [] in
+  let _ = Engine.spawn e ~node:1 (fun () -> Engine.delay 100; runs := "old" :: !runs) in
+  Engine.at e ~delay:10 (fun () ->
+      Engine.crash_node e 1;
+      ignore (Engine.spawn e ~node:1 (fun () -> runs := "new" :: !runs)));
+  let _ = Engine.run e in
+  Alcotest.(check (list string)) "only post-restart fiber runs" [ "new" ] !runs
+
+let test_cpu_accounting () =
+  let e = Engine.create () in
+  let _ =
+    Engine.spawn e (fun () ->
+        Engine.charge_cpu e ~process:"tm" 36_000;
+        Engine.charge_cpu e ~process:"rm" 5_000;
+        Engine.charge_cpu e ~process:"tm" 1_000)
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "tm cpu" 37_000 (Engine.cpu_time e ~process:"tm");
+  Alcotest.(check int) "rm cpu" 5_000 (Engine.cpu_time e ~process:"rm");
+  Alcotest.(check int) "elapsed covers all" 42_000 (Engine.now e);
+  Engine.reset_cpu e;
+  Alcotest.(check int) "reset" 0 (Engine.cpu_time e ~process:"tm")
+
+let test_metrics_diff_and_weighting () =
+  let m = Metrics.create () in
+  Metrics.record_many m Cost_model.Datagram 4;
+  Metrics.record m Cost_model.Stable_storage_write;
+  let before = Metrics.snapshot m in
+  Metrics.record_many m Cost_model.Datagram 2;
+  let d = Metrics.diff ~later:m ~earlier:before in
+  Alcotest.(check int) "diff datagrams" 2 (Metrics.count d Cost_model.Datagram);
+  Alcotest.(check int) "diff stable" 0
+    (Metrics.count d Cost_model.Stable_storage_write);
+  Alcotest.(check int) "weighted = 6*25 + 79 ms"
+    ((6 * 25_000) + 79_000)
+    (Metrics.weighted_cost m Cost_model.measured)
+
+let test_cost_tables_match_paper () =
+  let check_ms model p ms =
+    Alcotest.(check int)
+      (Cost_model.name p)
+      (int_of_float (ms *. 1000.))
+      (Cost_model.cost model p)
+  in
+  check_ms Cost_model.measured Cost_model.Data_server_call 26.1;
+  check_ms Cost_model.measured Cost_model.Inter_node_data_server_call 89.;
+  check_ms Cost_model.measured Cost_model.Stable_storage_write 79.;
+  check_ms Cost_model.achievable Cost_model.Data_server_call 2.5;
+  check_ms Cost_model.achievable Cost_model.Stable_storage_write 32.
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops sorted" ~count:100
+    QCheck.(list int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k k) keys;
+      let out = List.init (List.length keys) (fun _ -> fst (Heap.pop_min h)) in
+      out = List.sort compare keys)
+
+let test_simulation_deterministic () =
+  (* two identical runs of a small workload produce byte-identical
+     virtual times and metrics — the property every benchmark and
+     crash test relies on *)
+  let run () =
+    let e = Engine.create () in
+    let q = Engine.Waitq.create () in
+    let trace = ref [] in
+    for i = 1 to 5 do
+      ignore
+        (Engine.spawn e (fun () ->
+             Engine.delay (i * 7);
+             Engine.charge e Cost_model.Small_contiguous_message;
+             (match
+                Engine.Waitq.wait_timeout q ~engine:e ~timeout:(i * 100)
+              with
+             | Some v -> trace := (i, v, Engine.now e) :: !trace
+             | None -> trace := (i, -1, Engine.now e) :: !trace);
+             if i mod 2 = 0 then
+               ignore (Engine.Waitq.signal q ~engine:e i)))
+    done;
+    let _ = Engine.run e in
+    (!trace, Engine.now e, Metrics.count (Engine.metrics e) Cost_model.Small_contiguous_message)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical traces" true (a = b)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sim.heap",
+      [
+        quick "ordering" test_heap_order;
+        quick "fifo ties" test_heap_fifo_ties;
+        quick "random sorted" test_heap_random_sorted;
+        QCheck_alcotest.to_alcotest prop_heap_sorts;
+      ] );
+    ( "sim.engine",
+      [
+        quick "clock advances" test_clock_advances;
+        quick "fiber delay" test_fiber_delay;
+        quick "charge costs" test_fiber_charge_costs;
+        quick "cpu accounting" test_cpu_accounting;
+        quick "deterministic replay" test_simulation_deterministic;
+      ] );
+    ( "sim.waitq",
+      [
+        quick "signal" test_waitq_signal;
+        quick "timeout" test_waitq_timeout;
+        quick "signal beats timeout" test_waitq_signal_beats_timeout;
+        quick "fifo wakeup" test_waitq_fifo;
+      ] );
+    ( "sim.crash",
+      [
+        quick "crash kills fiber" test_crash_kills_fiber;
+        quick "other nodes unaffected" test_crash_spares_other_nodes;
+        quick "restart isolates epochs" test_restart_after_crash;
+      ] );
+    ( "sim.metrics",
+      [
+        quick "diff and weighting" test_metrics_diff_and_weighting;
+        quick "cost tables match paper" test_cost_tables_match_paper;
+      ] );
+    ( "sim.rng",
+      [ quick "deterministic" test_rng_deterministic;
+        QCheck_alcotest.to_alcotest prop_rng_bounds ] );
+  ]

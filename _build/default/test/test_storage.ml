@@ -1,0 +1,116 @@
+(* Tests for pages, the disk model, and stable storage. *)
+
+open Tabs_sim
+open Tabs_storage
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let in_fiber f =
+  let e = Engine.create () in
+  let result = ref None in
+  let _ = Engine.spawn e (fun () -> result := Some (f e)) in
+  let _ = Engine.run e in
+  match !result with Some v -> v | None -> Alcotest.fail "fiber did not finish"
+
+let test_page_roundtrip () =
+  let p = Page.zero () in
+  Page.blit_string "hello" p ~off:100;
+  Alcotest.(check string) "read back" "hello" (Page.sub p ~off:100 ~len:5);
+  Page.set_int p ~off:8 123456789;
+  Alcotest.(check int) "int roundtrip" 123456789 (Page.get_int p ~off:8)
+
+let test_page_bounds () =
+  let p = Page.zero () in
+  Alcotest.check_raises "overflow write"
+    (Invalid_argument "Page.blit_string: out of page bounds") (fun () ->
+      Page.blit_string "xy" p ~off:511)
+
+let test_disk_persistence () =
+  in_fiber (fun e ->
+      let d = Disk.create e in
+      Disk.ensure_segment d 1 ~pages:4;
+      let page = Page.zero () in
+      Page.blit_string "data" page ~off:0;
+      Disk.write d { segment = 1; page = 2 } page ~seqno:7;
+      let back = Disk.read d { segment = 1; page = 2 } ~access:`Random in
+      Alcotest.(check string) "contents" "data" (Page.sub back ~off:0 ~len:4);
+      Alcotest.(check int) "seqno stored" 7 (Disk.seqno d { segment = 1; page = 2 }))
+
+let test_disk_costs () =
+  let e = Engine.create () in
+  let _ =
+    Engine.spawn e (fun () ->
+        let d = Disk.create e in
+        Disk.ensure_segment d 1 ~pages:2;
+        ignore (Disk.read d { segment = 1; page = 0 } ~access:`Random);
+        ignore (Disk.read d { segment = 1; page = 1 } ~access:`Sequential))
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "random (32ms) + sequential (16ms)" 48_000 (Engine.now e)
+
+let test_disk_grow_preserves () =
+  in_fiber (fun e ->
+      let d = Disk.create e in
+      Disk.ensure_segment d 9 ~pages:2;
+      let page = Page.zero () in
+      Page.blit_string "keep" page ~off:0;
+      Disk.write_nocharge d { segment = 9; page = 1 } page ~seqno:3;
+      Disk.ensure_segment d 9 ~pages:10;
+      Alcotest.(check int) "grown" 10 (Disk.segment_pages d 9);
+      let back = Disk.read_nocharge d { segment = 9; page = 1 } in
+      Alcotest.(check string) "data kept" "keep" (Page.sub back ~off:0 ~len:4))
+
+let test_disk_bounds () =
+  in_fiber (fun e ->
+      let d = Disk.create e in
+      Disk.ensure_segment d 1 ~pages:2;
+      Alcotest.check_raises "out of bounds"
+        (Invalid_argument "Disk: page out of segment bounds") (fun () ->
+          ignore (Disk.read_nocharge d { segment = 1; page = 5 })))
+
+let test_stable_append_read () =
+  let s = Stable.create () in
+  let p0 = Stable.append s "alpha" in
+  let p1 = Stable.append s "beta" in
+  Alcotest.(check int) "positions dense" (p0 + 1) p1;
+  Alcotest.(check string) "read back" "alpha" (Stable.read s p0);
+  Alcotest.(check int) "bytes" 9 (Stable.total_bytes s)
+
+let test_stable_truncate () =
+  let s = Stable.create () in
+  let ps = List.init 10 (fun i -> Stable.append s (Printf.sprintf "r%d" i)) in
+  Stable.truncate_prefix s ~keep_from:5;
+  Alcotest.(check int) "first" 5 (Stable.first s);
+  Alcotest.(check string) "live record" "r5" (Stable.read s (List.nth ps 5));
+  Alcotest.check_raises "truncated gone" Not_found (fun () ->
+      ignore (Stable.read s 4));
+  let p = Stable.append s "more" in
+  Alcotest.(check int) "positions continue" 10 p
+
+let prop_stable_roundtrip =
+  QCheck.Test.make ~name:"stable append/read roundtrip" ~count:100
+    QCheck.(list string)
+    (fun records ->
+      let s = Stable.create () in
+      let positions = List.map (Stable.append s) records in
+      List.for_all2 (fun p r -> Stable.read s p = r) positions records)
+
+let suites =
+  [
+    ( "storage.page",
+      [ quick "roundtrip" test_page_roundtrip; quick "bounds" test_page_bounds ]
+    );
+    ( "storage.disk",
+      [
+        quick "persistence" test_disk_persistence;
+        quick "io costs" test_disk_costs;
+        quick "grow preserves" test_disk_grow_preserves;
+        quick "bounds" test_disk_bounds;
+      ] );
+    ( "storage.stable",
+      [
+        quick "append/read" test_stable_append_read;
+        quick "truncate" test_stable_truncate;
+        QCheck_alcotest.to_alcotest prop_stable_roundtrip;
+      ] );
+  ]

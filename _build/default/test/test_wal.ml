@@ -1,0 +1,301 @@
+(* Tests for transaction identifiers, object identifiers, the record
+   codec, and the log manager. *)
+
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let in_fiber f =
+  let e = Engine.create () in
+  let done_ = ref false in
+  let _ = Engine.spawn e (fun () -> f e; done_ := true) in
+  let _ = Engine.run e in
+  if not !done_ then Alcotest.fail "fiber did not finish"
+
+(* Tid ---------------------------------------------------------------- *)
+
+let test_tid_family () =
+  let top = Tid.top ~node:3 ~seq:17 in
+  let child = Tid.child top ~index:0 in
+  let grandchild = Tid.child child ~index:2 in
+  Alcotest.(check bool) "top is top" true (Tid.is_top top);
+  Alcotest.(check bool) "child is not" false (Tid.is_top child);
+  Alcotest.(check bool) "parent of child" true
+    (match Tid.parent child with Some p -> Tid.equal p top | None -> false);
+  Alcotest.(check bool) "top_level strips" true
+    (Tid.equal (Tid.top_level grandchild) top);
+  Alcotest.(check bool) "ancestor" true
+    (Tid.is_ancestor ~ancestor:top grandchild);
+  Alcotest.(check bool) "self ancestor" true
+    (Tid.is_ancestor ~ancestor:child child);
+  Alcotest.(check bool) "not descendant" false
+    (Tid.is_ancestor ~ancestor:grandchild child);
+  Alcotest.(check string) "printing" "T3.17.0.2" (Tid.to_string grandchild)
+
+let test_tid_sibling_not_ancestor () =
+  let top = Tid.top ~node:1 ~seq:1 in
+  let a = Tid.child top ~index:0 and b = Tid.child top ~index:1 in
+  Alcotest.(check bool) "siblings unrelated" false (Tid.is_ancestor ~ancestor:a b)
+
+(* Object_id ---------------------------------------------------------- *)
+
+let test_object_pages () =
+  let small = Object_id.make ~segment:1 ~offset:100 ~length:8 in
+  Alcotest.(check int) "one page" 1 (List.length (Object_id.pages small));
+  Alcotest.(check bool) "fits" true (Object_id.fits_one_page small);
+  let spanning = Object_id.make ~segment:1 ~offset:510 ~length:8 in
+  Alcotest.(check int) "two pages" 2 (List.length (Object_id.pages spanning));
+  Alcotest.(check bool) "does not fit" false (Object_id.fits_one_page spanning);
+  let exact = Object_id.make ~segment:1 ~offset:512 ~length:512 in
+  (match Object_id.pages exact with
+  | [ { Disk.segment = 1; page = 1 } ] -> ()
+  | _ -> Alcotest.fail "expected exactly page 1");
+  let empty = Object_id.make ~segment:1 ~offset:0 ~length:0 in
+  Alcotest.(check int) "empty object" 0 (List.length (Object_id.pages empty))
+
+(* Record codec ------------------------------------------------------- *)
+
+let sample_records =
+  let tid = Tid.top ~node:2 ~seq:5 in
+  let sub = Tid.child tid ~index:1 in
+  let obj = Object_id.make ~segment:4 ~offset:64 ~length:8 in
+  [
+    Record.Update_value
+      { tid; obj; old_value = "old!"; new_value = "new!"; prev = Some 12 };
+    Record.Update_operation
+      {
+        tid = sub;
+        server = "queue";
+        operation = "enqueue";
+        undo_arg = "u";
+        redo_arg = "r";
+        pages = [ { Disk.segment = 4; page = 0 }; { Disk.segment = 4; page = 1 } ];
+        prev = None;
+      };
+    Record.Txn_begin tid;
+    Record.Txn_commit tid;
+    Record.Txn_abort sub;
+    Record.Txn_prepare (tid, 3);
+    Record.Txn_end tid;
+    Record.Checkpoint
+      {
+        dirty_pages = [ ({ Disk.segment = 4; page = 7 }, 99) ];
+        active_txns = [ (tid, Some 98); (sub, None) ];
+      };
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      let decoded = Record.decode (Record.encode r) in
+      if decoded <> r then
+        Alcotest.failf "roundtrip failed for %s" (Format.asprintf "%a" Record.pp r))
+    sample_records
+
+let test_record_rejects_garbage () =
+  (match Record.decode (Record.encode (Record.Txn_begin (Tid.top ~node:0 ~seq:0))) with
+  | Record.Txn_begin _ -> ()
+  | _ -> Alcotest.fail "decoded to wrong variant");
+  Alcotest.(check bool) "garbage raises" true
+    (try
+       ignore (Record.decode "\255\255\255\255\255\255\255\255garbage");
+       false
+     with Codec.Reader.Malformed _ -> true)
+
+let gen_tid =
+  QCheck.Gen.(
+    map3
+      (fun node seq path -> { Tid.node; seq; path })
+      (int_bound 100) (int_bound 10000)
+      (list_size (int_bound 3) (int_bound 5)))
+
+let gen_record =
+  QCheck.Gen.(
+    gen_tid >>= fun tid ->
+    string_size (int_bound 40) >>= fun s1 ->
+    string_size (int_bound 40) >>= fun s2 ->
+    int_bound 1000 >>= fun n ->
+    oneofl
+      [
+        Record.Update_value
+          {
+            tid;
+            obj = Object_id.make ~segment:(n mod 7) ~offset:n ~length:8;
+            old_value = s1;
+            new_value = s2;
+            prev = (if n mod 2 = 0 then Some n else None);
+          };
+        Record.Update_operation
+          {
+            tid;
+            server = s1;
+            operation = s2;
+            undo_arg = s2;
+            redo_arg = s1;
+            pages = [ { Disk.segment = n mod 7; page = n mod 13 } ];
+            prev = None;
+          };
+        Record.Txn_begin tid;
+        Record.Txn_commit tid;
+        Record.Txn_abort tid;
+        Record.Txn_prepare (tid, n mod 5);
+        Record.Txn_end tid;
+        Record.Checkpoint
+          {
+            dirty_pages = [ ({ Disk.segment = 1; page = n mod 17 }, n) ];
+            active_txns = [ (tid, Some n) ];
+          };
+      ])
+
+let prop_decode_never_crashes =
+  (* arbitrary bytes either decode to some record or raise Malformed —
+     nothing else (no out-of-bounds, no assert failures) *)
+  QCheck.Test.make ~name:"decode is total on garbage" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 120))
+    (fun bytes ->
+      match Record.decode bytes with
+      | _ -> true
+      | exception Codec.Reader.Malformed _ -> true)
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"record encode/decode roundtrip" ~count:500
+    (QCheck.make gen_record)
+    (fun r -> Record.decode (Record.encode r) = r)
+
+(* Log manager -------------------------------------------------------- *)
+
+let test_log_backward_chain () =
+  in_fiber (fun e ->
+      let log = Log_manager.attach e (Stable.create ()) in
+      let tid = Tid.top ~node:1 ~seq:1 in
+      let obj n = Object_id.make ~segment:1 ~offset:(8 * n) ~length:8 in
+      let l0 = Log_manager.append_value log ~tid ~obj:(obj 0) ~old_value:"a" ~new_value:"b" in
+      let l1 = Log_manager.append_value log ~tid ~obj:(obj 1) ~old_value:"c" ~new_value:"d" in
+      let l2 = Log_manager.append_value log ~tid ~obj:(obj 2) ~old_value:"e" ~new_value:"f" in
+      Alcotest.(check (option int)) "last lsn" (Some l2) (Log_manager.last_lsn_of log tid);
+      (match Log_manager.read log l2 with
+      | Record.Update_value u ->
+          Alcotest.(check (option int)) "chain l2->l1" (Some l1) u.prev
+      | _ -> Alcotest.fail "wrong record");
+      match Log_manager.read log l1 with
+      | Record.Update_value u ->
+          Alcotest.(check (option int)) "chain l1->l0" (Some l0) u.prev;
+          (match Log_manager.read log l0 with
+          | Record.Update_value u0 ->
+              Alcotest.(check (option int)) "chain l0->none" None u0.prev
+          | _ -> Alcotest.fail "wrong record")
+      | _ -> Alcotest.fail "wrong record")
+
+let test_log_force_group_commit () =
+  let e = Engine.create () in
+  let log = Log_manager.attach e (Stable.create ()) in
+  let _ =
+    Engine.spawn e (fun () ->
+        let tid = Tid.top ~node:1 ~seq:1 in
+        let obj = Object_id.make ~segment:1 ~offset:0 ~length:8 in
+        for _ = 1 to 5 do
+          ignore
+            (Log_manager.append_value log ~tid ~obj ~old_value:"12345678"
+               ~new_value:"abcdefgh")
+        done;
+        Alcotest.(check int) "nothing stable yet" 0 (Log_manager.flushed_lsn log);
+        Log_manager.force_all log;
+        Alcotest.(check int) "all stable" 5 (Log_manager.flushed_lsn log);
+        Alcotest.(check int) "one group force" 1 (Log_manager.force_count log);
+        (* Forcing again is free. *)
+        Log_manager.force_all log;
+        Alcotest.(check int) "idempotent" 1 (Log_manager.force_count log))
+  in
+  let _ = Engine.run e in
+  Alcotest.(check int) "exactly one stable write charged"
+    1
+    (Metrics.count (Engine.metrics e) Cost_model.Stable_storage_write)
+
+let test_log_partial_force () =
+  in_fiber (fun e ->
+      let log = Log_manager.attach e (Stable.create ()) in
+      let tid = Tid.top ~node:1 ~seq:1 in
+      let obj = Object_id.make ~segment:1 ~offset:0 ~length:8 in
+      let l0 = Log_manager.append_value log ~tid ~obj ~old_value:"x" ~new_value:"y" in
+      let _l1 = Log_manager.append_value log ~tid ~obj ~old_value:"y" ~new_value:"z" in
+      Log_manager.force log ~upto:l0;
+      Alcotest.(check int) "only l0 stable" (l0 + 1) (Log_manager.flushed_lsn log);
+      (* Unflushed records are still readable from the buffer. *)
+      match Log_manager.read log (l0 + 1) with
+      | Record.Update_value u -> Alcotest.(check string) "buffered" "z" u.new_value
+      | _ -> Alcotest.fail "wrong record")
+
+let test_log_survives_restart () =
+  let stable = Stable.create () in
+  in_fiber (fun e ->
+      let log = Log_manager.attach e stable in
+      let tid = Tid.top ~node:1 ~seq:1 in
+      let obj = Object_id.make ~segment:1 ~offset:0 ~length:8 in
+      ignore (Log_manager.append log (Record.Txn_begin tid));
+      ignore (Log_manager.append_value log ~tid ~obj ~old_value:"a" ~new_value:"b");
+      Log_manager.force_all log;
+      (* This one is lost in the crash: *)
+      ignore (Log_manager.append_value log ~tid ~obj ~old_value:"b" ~new_value:"c"));
+  in_fiber (fun e ->
+      let log = Log_manager.attach e stable in
+      Alcotest.(check int) "two records survive" 2 (Log_manager.next_lsn log);
+      let seen = ref [] in
+      Log_manager.iter_forward log ~from:0 ~f:(fun lsn r -> seen := (lsn, r) :: !seen);
+      Alcotest.(check int) "forward scan sees both" 2 (List.length !seen))
+
+let test_log_checkpoint_scan () =
+  in_fiber (fun e ->
+      let log = Log_manager.attach e (Stable.create ()) in
+      let tid = Tid.top ~node:1 ~seq:1 in
+      Alcotest.(check (option int)) "no checkpoint yet" None (Log_manager.last_checkpoint log);
+      ignore (Log_manager.append log (Record.Txn_begin tid));
+      let ck =
+        Log_manager.append log
+          (Record.Checkpoint { dirty_pages = []; active_txns = [] })
+      in
+      ignore (Log_manager.append log (Record.Txn_commit tid));
+      Log_manager.force_all log;
+      Alcotest.(check (option int)) "finds latest" (Some ck) (Log_manager.last_checkpoint log))
+
+let test_log_truncate () =
+  in_fiber (fun e ->
+      let log = Log_manager.attach e (Stable.create ()) in
+      let tid = Tid.top ~node:1 ~seq:1 in
+      let obj = Object_id.make ~segment:1 ~offset:0 ~length:8 in
+      for _ = 1 to 10 do
+        ignore (Log_manager.append_value log ~tid ~obj ~old_value:"a" ~new_value:"b")
+      done;
+      Log_manager.force_all log;
+      Log_manager.truncate log ~keep_from:6;
+      Alcotest.(check int) "first lsn" 6 (Log_manager.first_lsn log);
+      let seen = ref 0 in
+      Log_manager.iter_backward log ~from:9 ~f:(fun _ _ -> incr seen; `Continue);
+      Alcotest.(check int) "backward scan sees live only" 4 !seen)
+
+let suites =
+  [
+    ( "wal.tid",
+      [
+        quick "family relations" test_tid_family;
+        quick "siblings" test_tid_sibling_not_ancestor;
+      ] );
+    ("wal.object_id", [ quick "page spans" test_object_pages ]);
+    ( "wal.record",
+      [
+        quick "roundtrip samples" test_record_roundtrip;
+        quick "rejects garbage" test_record_rejects_garbage;
+        QCheck_alcotest.to_alcotest prop_record_roundtrip;
+        QCheck_alcotest.to_alcotest prop_decode_never_crashes;
+      ] );
+    ( "wal.log",
+      [
+        quick "backward chain" test_log_backward_chain;
+        quick "group commit force" test_log_force_group_commit;
+        quick "partial force" test_log_partial_force;
+        quick "survives restart" test_log_survives_restart;
+        quick "checkpoint scan" test_log_checkpoint_scan;
+        quick "truncate" test_log_truncate;
+      ] );
+  ]
