@@ -76,29 +76,34 @@ let print_table_5_3 (results : Workloads.result list) =
       print_counts_line name r.commit (paper_counts_row paper))
     Paper_data.table_5_3_benchmark
 
-(* Table 5-4. *)
-let improved_us (r : Workloads.result) =
-  r.elapsed_us -. r.elidable_us -. r.phase2_us
-
+(* Table 5-4. The ImprovedArch and NewPrims columns are measured, not
+   projected: [improved] is a second run of every benchmark on
+   Integrated-profile nodes (Section 5.3's merged architecture), and
+   [new_prims] is that architecture run again under the Table 5-5
+   achievable primitive times. *)
 let print_table_5_4 ~(measured : Workloads.result list)
-    ~(achievable : Workloads.result list) =
+    ~(improved : Workloads.result list)
+    ~(new_prims : Workloads.result list) =
   print_header "Table 5-4: Benchmark Times (milliseconds, ours/paper)";
   Printf.printf "%-34s %13s %13s %13s %13s %13s\n" ""
     "Predicted" "TABS Proc" "Elapsed" "ImprovedArch" "NewPrims";
   List.iteri
     (fun i (r : Workloads.result) ->
-      let a = List.nth achievable i in
+      let im = List.nth improved i in
+      let np = List.nth new_prims i in
       let p = List.nth Paper_data.table_5_4 i in
       Printf.printf "%-34s %5.0f/%-5.0f %7.0f/%-5.0f %5.0f/%-5.0f %7.0f/%-5.0f %5.0f/%-5.0f\n"
         r.name (ms r.predicted_us) p.predicted
         (ms r.process_us) p.process
         (ms r.elapsed_us) p.elapsed
-        (ms (improved_us r)) p.improved
-        (ms (improved_us a)) p.new_prims)
+        (ms im.elapsed_us) p.improved
+        (ms np.elapsed_us) p.new_prims)
     measured
 
 (* Shape checks: the qualitative claims the reproduction must uphold. *)
-let print_shape_checks ~(measured : Workloads.result list) ~(achievable : Workloads.result list) =
+let print_shape_checks ~(measured : Workloads.result list)
+    ~(improved : Workloads.result list)
+    ~(new_prims : Workloads.result list) =
   print_header "Shape checks (reproduction criteria)";
   let e i = (List.nth measured i : Workloads.result).elapsed_us in
   let check name ok = Printf.printf "  [%s] %s\n" (if ok then "ok" else "FAIL") name in
@@ -109,10 +114,19 @@ let print_shape_checks ~(measured : Workloads.result list) ~(achievable : Worklo
   check "remote costs more than local" (e 7 > e 0 && e 10 > e 4);
   check "3 nodes cost more than 2 nodes" (e 12 > e 7 && e 13 > e 10);
   check "distributed write commit is the most expensive class" (e 13 > e 12);
+  let never_slower =
+    List.for_all2
+      (fun (m : Workloads.result) (im : Workloads.result) ->
+        im.elapsed_us <= m.elapsed_us
+        && Array.exists (fun x -> x > 0.) im.elided)
+      measured improved
+  in
+  check "Integrated architecture never slower, always elides messages"
+    never_slower;
   let improvement i =
     let m = (List.nth measured i : Workloads.result) in
-    let a = List.nth achievable i in
-    m.elapsed_us /. improved_us a
+    let np = (List.nth new_prims i : Workloads.result) in
+    m.elapsed_us /. np.elapsed_us
   in
   let improvements = List.init 14 improvement in
   let min_i = List.fold_left min infinity improvements in
@@ -123,7 +137,7 @@ let print_shape_checks ~(measured : Workloads.result list) ~(achievable : Worklo
      code, which the cost model deliberately excludes. *)
   check
     (Printf.sprintf
-       "projected software speedup spans the paper's 1.4x-3.1x band (ours: %.1fx-%.1fx)"
+       "measured software speedup spans the paper's 1.4x-3.1x band (ours: %.1fx-%.1fx)"
        min_i max_i)
     (min_i >= 1.2 && max_i <= 4.5);
   (* Section 5.2 accounting: predicted + process ~ elapsed for local

@@ -22,11 +22,12 @@ type result = {
   iterations : int;
   pre : float array; (* per-primitive weights, Cost_model.all order *)
   commit : float array;
+  elided : float array;
+      (* per-primitive weights the Integrated profile turned into
+         procedure calls; all zero under Classic *)
   elapsed_us : float;
   process_us : float; (* TM + RM + CM CPU, all nodes *)
   ds_us : float;
-  elidable_us : float; (* messages an integrated architecture removes *)
-  phase2_us : float; (* distributed-commit work overlappable with successors *)
   predicted_us : float; (* sum over primitives of weight x model cost *)
 }
 
@@ -197,12 +198,18 @@ let to_float_counts m =
   Array.of_list
     (List.map (fun p -> Tabs_sim.Metrics.weight m p) Cost_model.all)
 
+let to_float_elided m =
+  Array.of_list
+    (List.map (fun p -> Tabs_sim.Metrics.elided_weight m p) Cost_model.all)
+
 let sub_counts a b = Array.mapi (fun i x -> x -. b.(i)) a
 
 let add_into acc x = Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) x
 
-let run_spec ?(iterations = 25) ?(warmup = 5) ~model spec =
-  let cluster = Cluster.create ~cost_model:model ~nodes:spec.nodes () in
+let run_spec ?(iterations = 25) ?(warmup = 5) ?profile ~model spec =
+  let cluster =
+    Cluster.create ~cost_model:model ?profile ~nodes:spec.nodes ()
+  in
   let engine = Cluster.engine cluster in
   let cells =
     if spec.paging then paging_pages * Int_array_server.cells_per_page
@@ -227,25 +234,22 @@ let run_spec ?(iterations = 25) ?(warmup = 5) ~model spec =
   in
   let pre_total = Array.make 9 0. in
   let commit_total = Array.make 9 0. in
+  let elided_total = Array.make 9 0. in
   let elapsed = ref 0 in
   let process = ref 0 in
   let ds = ref 0 in
-  let elidable = ref 0 in
-  let phase2 = ref 0 in
   let cpu_now () =
     ( Engine.cpu_time engine ~process:"tm"
       + Engine.cpu_time engine ~process:"rm"
       + Engine.cpu_time engine ~process:"cm",
-      Engine.cpu_time engine ~process:"ds",
-      Engine.cpu_time engine ~process:"elidable",
-      Engine.cpu_time engine ~process:"phase2" )
+      Engine.cpu_time engine ~process:"ds" )
   in
   Cluster.run_fiber cluster ~node:0 (fun () ->
       for i = 1 to warmup + iterations do
         let measured = i > warmup in
         let s0 = Metrics.snapshot (Engine.metrics engine) in
         let t0 = Engine.now engine in
-        let tabs0, ds0, el0, p20 = cpu_now () in
+        let tabs0, ds0 = cpu_now () in
         let tid = Txn_lib.begin_transaction ctx.tm () in
         spec.body ctx tid;
         let s1 = Metrics.snapshot (Engine.metrics engine) in
@@ -253,17 +257,17 @@ let run_spec ?(iterations = 25) ?(warmup = 5) ~model spec =
         assert committed;
         let s2 = Metrics.snapshot (Engine.metrics engine) in
         let t1 = Engine.now engine in
-        let tabs1, ds1, el1, p21 = cpu_now () in
+        let tabs1, ds1 = cpu_now () in
         if measured then begin
           add_into pre_total
             (sub_counts (to_float_counts s1) (to_float_counts s0));
           add_into commit_total
             (sub_counts (to_float_counts s2) (to_float_counts s1));
+          add_into elided_total
+            (sub_counts (to_float_elided s2) (to_float_elided s0));
           elapsed := !elapsed + (t1 - t0);
           process := !process + (tabs1 - tabs0);
-          ds := !ds + (ds1 - ds0);
-          elidable := !elidable + (el1 - el0);
-          phase2 := !phase2 + (p21 - p20)
+          ds := !ds + (ds1 - ds0)
         end
       done);
   let n = float_of_int iterations in
@@ -282,16 +286,15 @@ let run_spec ?(iterations = 25) ?(warmup = 5) ~model spec =
     iterations;
     pre;
     commit;
+    elided = Array.map (fun x -> x /. n) elided_total;
     elapsed_us = float_of_int !elapsed /. n;
     process_us = float_of_int !process /. n;
     ds_us = float_of_int !ds /. n;
-    elidable_us = float_of_int !elidable /. n;
-    phase2_us = float_of_int !phase2 /. n;
     predicted_us = predicted;
   }
 
-let run_all ?iterations ?warmup ~model () =
-  List.map (run_spec ?iterations ?warmup ~model) specs
+let run_all ?iterations ?warmup ?profile ~model () =
+  List.map (run_spec ?iterations ?warmup ?profile ~model) specs
 
 (* The Section 7 composite transactions: five operations, each updating
    two pages. *)

@@ -15,10 +15,32 @@ open Tabs_servers
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
+(* Every subcommand accepts --profile: classic is the measured Figure 3-1
+   prototype; integrated is the Section 5.3 merged TM/RM/kernel process. *)
+let profile_conv =
+  let parse s =
+    match Profile.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown profile %S (expected classic or integrated)" s))
+  in
+  Arg.conv (parse, Profile.pp)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt profile_conv Profile.Classic
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:
+          "Node architecture: $(b,classic) (the measured prototype, with \
+           separate Transaction Manager, Recovery Manager, and kernel \
+           processes) or $(b,integrated) (the Section 5.3 improved \
+           architecture, which merges them and elides their messages).")
+
 (* crash ------------------------------------------------------------------ *)
 
-let run_crash () =
-  let c = Cluster.create ~nodes:1 () in
+let run_crash profile =
+  let c = Cluster.create ~nodes:1 ~profile () in
   let node = Cluster.node c 0 in
   let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
   let tm = Node.tm node in
@@ -55,9 +77,9 @@ let run_crash () =
 
 (* twophase ---------------------------------------------------------------- *)
 
-let run_twophase nodes kill_coordinator =
+let run_twophase profile nodes kill_coordinator =
   let nodes = max 2 (min 5 nodes) in
-  let c = Cluster.create ~nodes () in
+  let c = Cluster.create ~nodes ~profile () in
   List.iter
     (fun node ->
       ignore
@@ -132,8 +154,8 @@ let run_twophase nodes kill_coordinator =
 
 (* voting -------------------------------------------------------------------- *)
 
-let run_voting () =
-  let c = Cluster.create ~nodes:3 () in
+let run_voting profile =
+  let c = Cluster.create ~nodes:3 ~profile () in
   List.iter
     (fun node ->
       ignore
@@ -174,8 +196,8 @@ let run_voting () =
 
 (* screen -------------------------------------------------------------------- *)
 
-let run_screen () =
-  let c = Cluster.create ~nodes:1 () in
+let run_screen profile =
+  let c = Cluster.create ~nodes:1 ~profile () in
   let node = Cluster.node c 0 in
   let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
   let tm = Node.tm node in
@@ -197,7 +219,7 @@ let run_screen () =
 
 (* stats --------------------------------------------------------------------- *)
 
-let run_stats index =
+let run_stats profile index =
   let specs = Workload_specs.specs in
   if index < 0 || index >= List.length specs then begin
     say "benchmark index out of range (0..%d):" (List.length specs - 1);
@@ -207,7 +229,7 @@ let run_stats index =
   else begin
     let name, nodes, body = List.nth specs index in
     say "running benchmark: %s (%d node(s))" name nodes;
-    let c = Cluster.create ~nodes () in
+    let c = Cluster.create ~nodes ~profile () in
     List.iter
       (fun node ->
         ignore
@@ -238,7 +260,15 @@ let run_stats index =
           (fun p ->
             let w = Metrics.weight counts p /. 10. in
             if w > 0.001 then say "  %-30s %6.2f" (Cost_model.name p) w)
-          Cost_model.all);
+          Cost_model.all;
+        if profile = Profile.Integrated then begin
+          say "elided by the integrated architecture (per transaction):";
+          List.iter
+            (fun p ->
+              let w = Metrics.elided_weight counts p /. 10. in
+              if w > 0.001 then say "  %-30s %6.2f" (Cost_model.name p) w)
+            Cost_model.all
+        end);
     0
   end
 
@@ -246,7 +276,7 @@ let run_stats index =
 
 let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
-    Term.(const run_crash $ const ())
+    Term.(const run_crash $ profile_arg)
 
 let twophase_cmd =
   let nodes =
@@ -262,17 +292,17 @@ let twophase_cmd =
   in
   Cmd.v
     (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
-    Term.(const run_twophase $ nodes $ kill)
+    Term.(const run_twophase $ profile_arg $ nodes $ kill)
 
 let voting_cmd =
   Cmd.v
     (Cmd.info "voting" ~doc:"Replicated directory with weighted voting")
-    Term.(const run_voting $ const ())
+    Term.(const run_voting $ profile_arg)
 
 let screen_cmd =
   Cmd.v
     (Cmd.info "screen" ~doc:"Transactional display output (I/O server)")
-    Term.(const run_screen $ const ())
+    Term.(const run_screen $ profile_arg)
 
 let stats_cmd =
   let index =
@@ -280,7 +310,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Primitive-operation profile of one benchmark")
-    Term.(const run_stats $ index)
+    Term.(const run_stats $ profile_arg $ index)
 
 let () =
   let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in

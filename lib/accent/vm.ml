@@ -22,18 +22,20 @@ type t = {
   engine : Engine.t;
   disk : Disk.t;
   frames : int;
+  profile : Profile.t;
   table : (Disk.page_id, frame) Hashtbl.t;
   mutable hooks : wal_hooks option;
   mutable tick : int;
   mutable fault_count : int;
 }
 
-let attach engine disk ~frames =
+let attach engine disk ~frames ?(profile = Profile.Classic) () =
   if frames < 1 then invalid_arg "Vm.attach: frames < 1";
   {
     engine;
     disk;
     frames;
+    profile;
     table = Hashtbl.create (2 * frames);
     hooks = None;
     tick = 0;
@@ -44,20 +46,63 @@ let set_wal_hooks t hooks = t.hooks <- Some hooks
 
 let disk t = t.disk
 
+let profile t = t.profile
+
+(* One leg of the kernel <-> Recovery Manager paging protocol. On a
+   Classic node it is an Accent small message and delays the caller; on
+   an Integrated node the Recovery Manager lives in the kernel's address
+   space, so the hop is a procedure call and only the elision is
+   counted. *)
+let protocol_msg t =
+  match t.profile with
+  | Profile.Classic -> Engine.charge t.engine Cost_model.Small_contiguous_message
+  | Profile.Integrated -> Engine.elide t.engine Cost_model.Small_contiguous_message
+
+(* The first-modification notice is asynchronous even on Classic nodes:
+   the writing coroutine must not lose the processor between reading an
+   object and updating it, or commuting operations under type-specific
+   locks could interleave mid-update. Its cost is recorded without
+   delaying. *)
+let protocol_notice t =
+  match t.profile with
+  | Profile.Classic -> Engine.record_only t.engine Cost_model.Small_contiguous_message
+  | Profile.Integrated -> Engine.elide t.engine Cost_model.Small_contiguous_message
+
 let touch t frame =
   t.tick <- t.tick + 1;
   frame.touched <- t.tick
 
+(* Section 3.2.1's write-ahead protocol around every page-out of a
+   recoverable-segment page: the kernel announces the intended write,
+   the Recovery Manager forces the log through the page's last record
+   (the [before_page_out] hook) and answers with the sector sequence
+   number to stamp, and the kernel reports completion. *)
 let page_out t frame =
+  protocol_msg t;
+  (* Snapshot at the announcement: the disk must receive exactly the
+     state the Recovery Manager's go-ahead covers.  The protocol legs,
+     the log force, and the disk write all suspend this fiber, and a
+     writing coroutine may pin and update the frame meanwhile; such an
+     update's record may not be forced yet, so it must wait for a later
+     page-out rather than ride along. *)
+  let seqno = frame.last_lsn in
+  let image = Page.copy frame.data in
   (match t.hooks with
   | Some h -> h.before_page_out frame.pid
   | None -> ());
-  Disk.write t.disk frame.pid frame.data ~seqno:frame.last_lsn;
-  frame.dirty <- false;
-  frame.rec_lsn <- None;
+  (* the Recovery Manager's go-ahead, carrying the sector sequence
+     number for the kernel to write atomically *)
+  protocol_msg t;
+  Disk.write t.disk frame.pid image ~seqno;
+  (* updates that arrived during the transfer keep the frame dirty *)
+  if frame.last_lsn = seqno && Page.equal frame.data image then begin
+    frame.dirty <- false;
+    frame.rec_lsn <- None
+  end;
+  protocol_msg t;
   match t.hooks with Some h -> h.after_page_out frame.pid | None -> ()
 
-let evict_victim t =
+let rec evict_victim t =
   let victim =
     Hashtbl.fold
       (fun _ frame best ->
@@ -72,7 +117,10 @@ let evict_victim t =
   | None -> failwith "Vm: all frames pinned, cannot evict"
   | Some frame ->
       if frame.dirty then page_out t frame;
-      Hashtbl.remove t.table frame.pid
+      (* the page-out suspends: a coroutine may have pinned or re-dirtied
+         the frame meanwhile, making it ineligible after all *)
+      if frame.pins = 0 && not frame.dirty then Hashtbl.remove t.table frame.pid
+      else evict_victim t
 
 let fault t pid ~access =
   match Hashtbl.find_opt t.table pid with
@@ -123,6 +171,7 @@ let read t obj ~access =
 let mark_dirty t frame =
   if not frame.dirty then begin
     frame.dirty <- true;
+    protocol_notice t;
     match t.hooks with
     | Some h -> h.on_first_dirty frame.pid
     | None -> ()

@@ -11,13 +11,22 @@
     + completion is announced, together with the atomically written
       39-bit sector sequence number needed by operation logging.
 
-    Here the protocol is a set of hooks the Recovery Manager registers.
+    Here the protocol is a set of hooks the Recovery Manager registers;
+    the kernel owns the cost of the protocol's messages. On a
+    {!Tabs_sim.Profile.Classic} node each leg is an Accent small
+    message; on a {!Tabs_sim.Profile.Integrated} node (the Section 5.3
+    merged architecture) the Recovery Manager shares the kernel's
+    process, every leg is a direct procedure call, and the would-be
+    messages are counted as elided ({!Tabs_sim.Engine.elide}).
+
     The page pool is volatile: discard the [t] and re-attach after a
     crash. *)
 
 type t
 
-(** The Recovery Manager's side of the paging protocol. *)
+(** The Recovery Manager's side of the paging protocol. The hooks carry
+    no message cost themselves — the kernel charges (or elides) the
+    protocol messages around them according to its profile. *)
 type wal_hooks = {
   on_first_dirty : Tabs_storage.Disk.page_id -> unit;
   before_page_out : Tabs_storage.Disk.page_id -> unit;
@@ -26,12 +35,21 @@ type wal_hooks = {
   after_page_out : Tabs_storage.Disk.page_id -> unit;
 }
 
-(** [attach engine disk ~frames] maps the node's disk with a pool of
-    [frames] page frames (the Perq's limited physical memory — the
-    5000-page benchmark array is more than three times this). *)
-val attach : Tabs_sim.Engine.t -> Tabs_storage.Disk.t -> frames:int -> t
+(** [attach engine disk ~frames ?profile ()] maps the node's disk with a
+    pool of [frames] page frames (the Perq's limited physical memory —
+    the 5000-page benchmark array is more than three times this), under
+    the given architecture profile (default [Classic]). *)
+val attach :
+  Tabs_sim.Engine.t ->
+  Tabs_storage.Disk.t ->
+  frames:int ->
+  ?profile:Tabs_sim.Profile.t ->
+  unit ->
+  t
 
 val set_wal_hooks : t -> wal_hooks -> unit
+
+val profile : t -> Tabs_sim.Profile.t
 
 val disk : t -> Tabs_storage.Disk.t
 

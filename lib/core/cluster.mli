@@ -4,10 +4,12 @@
 type t
 
 (** [create ~nodes ()] builds [nodes] nodes (ids 0..nodes-1) on a
-    lossless network. *)
+    lossless network. [?profile] applies the same architecture profile
+    (see {!Node.create}) to every node. *)
 val create :
   ?cost_model:Tabs_sim.Cost_model.t ->
   ?seed:int ->
+  ?profile:Tabs_sim.Profile.t ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

@@ -21,6 +21,7 @@ type t = {
   engine : Engine.t;
   net : Network.t;
   node_id : int;
+  profile : Profile.t;
   frames : int;
   log_space_limit : int;
   read_only_optimization : bool;
@@ -30,31 +31,35 @@ type t = {
   mutable up : bool;
 }
 
-let build_incarnation engine net disk stable ~id ~frames ~log_space_limit
-    ~read_only_optimization =
-  let vm = Vm.attach engine disk ~frames in
+let build_incarnation engine net disk stable ~id ~profile ~frames
+    ~log_space_limit ~read_only_optimization =
+  let vm = Vm.attach engine disk ~frames ~profile () in
   let log = Log_manager.attach engine stable in
-  let rm = Recovery_mgr.create engine ~node:id ~log ~vm ~log_space_limit () in
+  let rm =
+    Recovery_mgr.create engine ~node:id ~log ~vm ~profile ~log_space_limit ()
+  in
   let cm = Comm_mgr.create net ~node:id () in
   let tm =
-    Txn_mgr.create engine ~node:id ~rm ~cm ~read_only_optimization ()
+    Txn_mgr.create engine ~node:id ~rm ~cm ~profile ~read_only_optimization ()
   in
   let ns = Name_server.create engine ~node:id ~cm in
   let rpc = Rpc.create_registry engine ~node:id ~cm in
   { vm; log; rm; cm; tm; ns; rpc }
 
-let create engine net ~id ?(frames = 1500) ?(log_space_limit = 256 * 1024)
-    ?(read_only_optimization = true) () =
+let create engine net ~id ?(profile = Profile.Classic) ?(frames = 1500)
+    ?(log_space_limit = 256 * 1024) ?(read_only_optimization = true) () =
   let disk = Disk.create engine in
   let stable = Stable.create () in
   let live =
-    build_incarnation engine net disk stable ~id ~frames ~log_space_limit
-      ~read_only_optimization
+    build_incarnation engine net disk stable ~id ~profile ~frames
+      ~log_space_limit ~read_only_optimization
   in
-  { engine; net; node_id = id; frames; log_space_limit;
+  { engine; net; node_id = id; profile; frames; log_space_limit;
     read_only_optimization; disk; stable; live; up = true }
 
 let id t = t.node_id
+
+let profile t = t.profile
 
 let engine t = t.engine
 
@@ -100,7 +105,8 @@ let restart t ~reinstall ?(after_recovery = fun _ -> ()) () =
   Network.set_node_up t.net ~node:t.node_id true;
   t.live <-
     build_incarnation t.engine t.net t.disk t.stable ~id:t.node_id
-      ~frames:t.frames ~log_space_limit:t.log_space_limit
+      ~profile:t.profile ~frames:t.frames
+      ~log_space_limit:t.log_space_limit
       ~read_only_optimization:t.read_only_optimization;
   t.up <- true;
   reinstall (env t);

@@ -10,10 +10,20 @@
 
 type t
 
+(** [?profile] selects the node's architecture (default
+    {!Tabs_sim.Profile.Classic}, the measured prototype). Under
+    {!Tabs_sim.Profile.Integrated} the Transaction Manager, Recovery
+    Manager, and kernel share one process (Section 5.3): messages
+    between them become procedure calls (counted as elided, not
+    charged) and the second phase of distributed commits overlaps with
+    succeeding transactions. Log records, lock behavior, and commit
+    outcomes are identical in both profiles. The profile survives
+    {!crash}/{!restart}. *)
 val create :
   Tabs_sim.Engine.t ->
   Tabs_net.Network.t ->
   id:int ->
+  ?profile:Tabs_sim.Profile.t ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->
@@ -21,6 +31,8 @@ val create :
   t
 
 val id : t -> int
+
+val profile : t -> Tabs_sim.Profile.t
 
 val engine : t -> Tabs_sim.Engine.t
 

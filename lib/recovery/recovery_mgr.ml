@@ -18,6 +18,7 @@ type recovery_outcome = {
 type t = {
   engine : Engine.t;
   node : int;
+  profile : Profile.t;
   log : Log_manager.t;
   vm : Vm.t;
   log_space_limit : int;
@@ -36,6 +37,8 @@ let log t = t.log
 
 let vm t = t.vm
 
+let profile t = t.profile
+
 let register_op_handler t ~server handler =
   Hashtbl.replace t.op_handlers server handler
 
@@ -43,49 +46,40 @@ let set_active_txns_source t f = t.active_txns_source <- f
 
 let small_msg t = Engine.charge t.engine Cost_model.Small_contiguous_message
 
-(* Messages that would disappear if the Recovery and Transaction
-   Managers were merged into the kernel (the Section 5.3 "Improved TABS
-   Architecture"): their cost is charged normally AND noted under an
-   "elidable" accumulator the projection subtracts. *)
-let elidable_small_msg t =
-  Engine.note_cpu t.engine ~process:"elidable"
-    (Cost_model.cost (Engine.cost_model t.engine)
-       Cost_model.Small_contiguous_message);
-  small_msg t
+(* A Transaction Manager -> Recovery Manager hop. On a Classic node it
+   is an Accent small message; on an Integrated node (the Section 5.3
+   "Improved TABS Architecture") the two managers share the kernel's
+   process, so the hop is a direct call whose would-be cost is counted
+   as elided. *)
+let tm_rm_msg t =
+  match t.profile with
+  | Profile.Classic -> small_msg t
+  | Profile.Integrated ->
+      Engine.elide t.engine Cost_model.Small_contiguous_message
 
-(* As above but without delaying the caller: the kernel's first-dirty
-   notice is asynchronous — the writing coroutine must not lose the
-   processor between reading an object and updating it, or commuting
-   operations under type-specific locks could interleave mid-update. *)
-let elidable_small_msg_async t =
-  Engine.record_only t.engine Cost_model.Small_contiguous_message;
-  Engine.note_cpu t.engine ~process:"elidable"
-    (Cost_model.cost (Engine.cost_model t.engine)
-       Cost_model.Small_contiguous_message)
-
-(* The kernel <-> Recovery Manager paging protocol of Section 3.2.1:
-   three messages around every page-out of a recoverable-segment page,
-   plus the first-modification notice. *)
+(* The Recovery Manager's side of the kernel <-> Recovery Manager
+   paging protocol of Section 3.2.1. The kernel ({!Vm}) owns the
+   protocol's message costs; here only the write-ahead rule itself
+   remains: force the log through the page's last record before the
+   kernel may write it. *)
 let wal_hooks t =
   {
-    Vm.on_first_dirty = (fun _pid -> elidable_small_msg_async t);
+    Vm.on_first_dirty = (fun _pid -> ());
     before_page_out =
       (fun pid ->
-        elidable_small_msg t;
-        (match Hashtbl.find_opt t.page_last_lsn pid with
+        match Hashtbl.find_opt t.page_last_lsn pid with
         | Some lsn -> Log_manager.force t.log ~upto:lsn
         | None -> ());
-        (* the Recovery Manager's go-ahead, carrying the sector
-           sequence number for the kernel to write atomically *)
-        elidable_small_msg t);
-    after_page_out = (fun _pid -> elidable_small_msg t);
+    after_page_out = (fun _pid -> ());
   }
 
-let create engine ~node ~log ~vm ?(log_space_limit = 256 * 1024) () =
+let create engine ~node ~log ~vm ?(profile = Profile.Classic)
+    ?(log_space_limit = 256 * 1024) () =
   let t =
     {
       engine;
       node;
+      profile;
       log;
       vm;
       log_space_limit;
@@ -149,9 +143,9 @@ let maybe_background_flush t =
   end
 
 let append_tm_record t record =
-  (* Transaction Manager -> Recovery Manager traffic: elided when the
-     two merge with the kernel. *)
-  elidable_small_msg t;
+  (* Transaction Manager -> Recovery Manager traffic: a message on
+     Classic nodes, a direct call on Integrated ones. *)
+  tm_rm_msg t;
   (match record with
   | Record.Txn_begin _ -> maybe_background_flush t
   | _ -> ());

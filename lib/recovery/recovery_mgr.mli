@@ -45,11 +45,18 @@ type recovery_outcome = {
   records_scanned : int;
 }
 
+(** [create engine ~node ~log ~vm ?profile ?log_space_limit ()] — under
+    {!Tabs_sim.Profile.Integrated} the Recovery Manager is co-located
+    with the Transaction Manager and the kernel (Section 5.3), so the
+    TM's log-record traffic to it costs no message primitives (the hops
+    are counted as elided); under [Classic] (the default) each hop is an
+    Accent small message, as the paper measured. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
   log:Tabs_wal.Log_manager.t ->
   vm:Tabs_accent.Vm.t ->
+  ?profile:Tabs_sim.Profile.t ->
   ?log_space_limit:int ->
   unit ->
   t
@@ -57,6 +64,8 @@ val create :
 val log : t -> Tabs_wal.Log_manager.t
 
 val vm : t -> Tabs_accent.Vm.t
+
+val profile : t -> Tabs_sim.Profile.t
 
 (** [register_op_handler t ~server handler] installs the logical
     undo/redo code for [server]'s operation-logged objects. *)

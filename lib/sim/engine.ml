@@ -131,6 +131,8 @@ let delay micros =
 
 let record_only t prim = Metrics.record t.metrics prim
 
+let elide t prim = Metrics.record_elided t.metrics prim
+
 let charge t prim =
   record_only t prim;
   delay (Cost_model.cost t.model prim)

@@ -77,6 +77,13 @@ val charge : t -> Cost_model.primitive -> unit
     (e.g. parallel datagrams during three-node commit). *)
 val record_only : t -> Cost_model.primitive -> unit
 
+(** [elide t prim] notes that a hop which would cost [prim] on a
+    {!Profile.Classic} node was performed as a direct procedure call on
+    an {!Profile.Integrated} node: nothing is charged and the caller is
+    not delayed; the execution lands in the metrics' elided counters
+    (see {!Metrics.record_elided}). Safe outside a fiber. *)
+val elide : t -> Cost_model.primitive -> unit
+
 (** [charge_fraction t prim ~num ~den] records num/den of one execution
     and delays the fiber by the same fraction of the primitive's cost —
     the paper's accounting for work overlapped with other sends

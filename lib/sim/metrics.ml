@@ -1,8 +1,14 @@
 (* Weights are stored in units of 1/1000 of an execution so that the
    paper's fractional primitive counts (halves, and the measured 0.86
-   page I/Os per transaction) can be represented exactly enough. *)
+   page I/Os per transaction) can be represented exactly enough.
 
-type t = int array
+   Two parallel counter sets are kept: [charged] executions actually
+   cost their primitive's latency; [elided] executions are hops that an
+   Integrated-profile node turned into direct procedure calls — they
+   cost nothing but are counted so runs can attribute what the
+   architecture removed. *)
+
+type t = { charged : int array; elided : int array }
 
 let scale = 1000
 
@@ -15,35 +21,47 @@ let idx p =
   in
   find 0 Cost_model.all
 
-let create () = Array.make size 0
+let create () = { charged = Array.make size 0; elided = Array.make size 0 }
 
 let record_weighted t p ~num ~den =
   if den <= 0 then invalid_arg "Metrics.record_weighted: den <= 0";
-  t.(idx p) <- t.(idx p) + (scale * num / den)
+  t.charged.(idx p) <- t.charged.(idx p) + (scale * num / den)
 
 let record_many t p n = record_weighted t p ~num:n ~den:1
 
 let record t p = record_many t p 1
 
-let count t p = t.(idx p) / scale
+let record_elided t p = t.elided.(idx p) <- t.elided.(idx p) + scale
 
-let weight t p = float_of_int t.(idx p) /. float_of_int scale
+let count t p = t.charged.(idx p) / scale
 
-let reset t = Array.fill t 0 size 0
+let weight t p = float_of_int t.charged.(idx p) /. float_of_int scale
 
-let snapshot t = Array.copy t
+let elided_count t p = t.elided.(idx p) / scale
 
-let diff ~later ~earlier = Array.init size (fun i -> later.(i) - earlier.(i))
+let elided_weight t p = float_of_int t.elided.(idx p) /. float_of_int scale
+
+let reset t =
+  Array.fill t.charged 0 size 0;
+  Array.fill t.elided 0 size 0
+
+let snapshot t = { charged = Array.copy t.charged; elided = Array.copy t.elided }
+
+let diff ~later ~earlier =
+  {
+    charged = Array.init size (fun i -> later.charged.(i) - earlier.charged.(i));
+    elided = Array.init size (fun i -> later.elided.(i) - earlier.elided.(i));
+  }
 
 let weighted_cost t model =
   List.fold_left
     (fun acc p ->
-      acc + (t.(idx p) * Cost_model.cost model p / scale))
+      acc + (t.charged.(idx p) * Cost_model.cost model p / scale))
     0 Cost_model.all
 
 let to_alist t =
   List.filter_map
     (fun p ->
       let n = count t p in
-      if t.(idx p) = 0 then None else Some (p, n))
+      if t.charged.(idx p) = 0 then None else Some (p, n))
     Cost_model.all

@@ -21,6 +21,13 @@ val record_many : t -> Cost_model.primitive -> int -> unit
     Table 5-3. Weights accumulate in units of 1/1000. *)
 val record_weighted : t -> Cost_model.primitive -> num:int -> den:int -> unit
 
+(** [record_elided t p] counts an execution of [p] that an
+    {!Profile.Integrated} node turned into a direct procedure call:
+    the hop is attributed here instead of in the charged counters, so a
+    run can report both what it paid for and what the architecture
+    removed. *)
+val record_elided : t -> Cost_model.primitive -> unit
+
 (** [count t p] is the number of recorded executions of [p], rounded
     down when fractional executions were recorded. *)
 val count : t -> Cost_model.primitive -> int
@@ -28,6 +35,12 @@ val count : t -> Cost_model.primitive -> int
 (** [weight t p] is the accumulated execution weight of [p] — the
     fractional count — as a float. *)
 val weight : t -> Cost_model.primitive -> float
+
+(** [elided_count t p] / [elided_weight t p] — executions of [p] elided
+    by Integrated-profile nodes (zero on Classic nodes). *)
+val elided_count : t -> Cost_model.primitive -> int
+
+val elided_weight : t -> Cost_model.primitive -> float
 
 (** [reset t] zeroes every counter. *)
 val reset : t -> unit

@@ -52,7 +52,15 @@ type server_callbacks = {
       (** release the aborted subtransaction's locks *)
 }
 
-(** [read_only_optimization] (default true) lets subtrees that logged
+(** Under {!Tabs_sim.Profile.Integrated} (Section 5.3) the second phase
+    of a distributed commit — outcome distribution, acknowledgement
+    gathering, and the Txn_end record — runs in a background fiber so it
+    overlaps with succeeding transactions; under [Classic] (the default)
+    it stays on the caller's critical path, as the prototype measured.
+    The log records written and the verdicts returned are identical in
+    both profiles.
+
+    [read_only_optimization] (default true) lets subtrees that logged
     nothing vote Read_only and drop out of phase two; disabling it
     exists for the ablation benchmark. Every [checkpoint_interval]
     commits (default 50) the Transaction Manager asks the Recovery
@@ -63,6 +71,7 @@ val create :
   node:int ->
   rm:Tabs_recovery.Recovery_mgr.t ->
   cm:Tabs_net.Comm_mgr.t ->
+  ?profile:Tabs_sim.Profile.t ->
   ?vote_timeout:int ->
   ?read_only_optimization:bool ->
   ?checkpoint_interval:int ->
@@ -70,6 +79,8 @@ val create :
   t
 
 val node : t -> int
+
+val profile : t -> Tabs_sim.Profile.t
 
 (** [register_server t ~name callbacks] — data servers announce
     themselves so the Transaction Manager knows whom to inform at

@@ -54,7 +54,7 @@ let test_port_timeout () =
 let make_vm ?(frames = 4) e =
   let disk = Disk.create e in
   Disk.ensure_segment disk 1 ~pages:64;
-  Vm.attach e disk ~frames
+  Vm.attach e disk ~frames ()
 
 let test_vm_read_write () =
   in_fiber (fun e ->

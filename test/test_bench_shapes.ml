@@ -7,6 +7,11 @@ open Tabs_sim
 let results =
   lazy (Tabs_bench.Workloads.run_all ~iterations:4 ~warmup:1 ~model:Cost_model.measured ())
 
+let integrated_results =
+  lazy
+    (Tabs_bench.Workloads.run_all ~iterations:4 ~warmup:1
+       ~profile:Profile.Integrated ~model:Cost_model.measured ())
+
 let elapsed i = (List.nth (Lazy.force results) i : Tabs_bench.Workloads.result).elapsed_us
 
 let pre i p = Metrics_index.weight (List.nth (Lazy.force results) i) p
@@ -31,6 +36,19 @@ let suites =
             check "2 > 1 node" (elapsed 7 > elapsed 0) ();
             check "3 > 2 nodes" (elapsed 12 > elapsed 7) ();
             check "3-node write is worst" true ());
+        Alcotest.test_case "Integrated profile is never slower" `Slow
+          (fun () ->
+            List.iter2
+              (fun (c : Tabs_bench.Workloads.result)
+                   (i : Tabs_bench.Workloads.result) ->
+                check (c.name ^ ": integrated <= classic")
+                  (i.elapsed_us <= c.elapsed_us)
+                  ();
+                check (c.name ^ ": messages elided")
+                  (Array.exists (fun x -> x > 0.) i.elided)
+                  ())
+              (Lazy.force results)
+              (Lazy.force integrated_results));
         Alcotest.test_case "primitive counts match paper exactly (locals)"
           `Slow
           (fun () ->

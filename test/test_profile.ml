@@ -1,0 +1,155 @@
+(* The Section 5.3 Integrated architecture must change only where time
+   goes, never what happens: a property test drives identical randomized
+   schedules — local and distributed transactions, commits, aborts, and
+   a mid-transaction crash with restart — through a Classic and an
+   Integrated cluster and demands identical verdicts and identical
+   committed data; an alcotest case pins down the cost side, that an
+   Integrated node charges strictly fewer message primitives and
+   accounts for the difference as elisions. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let cells = 8
+
+(* One scripted transaction: which cell, whether it also touches the
+   remote node, and whether the application commits or aborts it. *)
+type step = { cell : int; distributed : bool; commit : bool }
+
+let apply_script profile script =
+  let c = Cluster.create ~nodes:2 ~profile () in
+  let reinstall env =
+    ignore
+      (Int_array_server.create env
+         ~name:(Printf.sprintf "a%d" env.Server_lib.node)
+         ~segment:1 ~cells ())
+  in
+  List.iter (fun node -> reinstall (Node.env node)) (Cluster.nodes c);
+  let outcomes = ref [] in
+  let value = ref 0 in
+  let run_steps steps =
+    let n0 = Cluster.node c 0 in
+    let tm = Node.tm n0 and rpc = Node.rpc n0 in
+    Cluster.run_fiber c ~node:0 (fun () ->
+        List.iter
+          (fun { cell; distributed; commit } ->
+            incr value;
+            let v = !value in
+            let tid = Txn_lib.begin_transaction tm () in
+            Int_array_server.call_set rpc ~dest:0 ~server:"a0" tid cell v;
+            if distributed then
+              Int_array_server.call_set rpc ~dest:1 ~server:"a1" tid cell v;
+            if commit then
+              outcomes := Txn_lib.end_transaction tm tid :: !outcomes
+            else begin
+              Txn_lib.abort_transaction tm tid;
+              outcomes := false :: !outcomes
+            end)
+          steps)
+  in
+  let half = List.length script / 2 in
+  run_steps (List.filteri (fun i _ -> i < half) script);
+  (* a transaction left open across a crash: its local updates must be
+     undone by recovery, identically in both profiles *)
+  let n0 = Cluster.node c 0 in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      let tm = Node.tm n0 and rpc = Node.rpc n0 in
+      let tid = Txn_lib.begin_transaction tm () in
+      Int_array_server.call_set rpc ~dest:0 ~server:"a0" tid 0 999);
+  Node.crash n0;
+  ignore (Cluster.run_fiber c ~node:0 (fun () -> Node.restart n0 ~reinstall ()));
+  run_steps (List.filteri (fun i _ -> i >= half) script);
+  (* read back every cell of both nodes *)
+  let n0 = Cluster.node c 0 in
+  let tm = Node.tm n0 and rpc = Node.rpc n0 in
+  let state =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let out = ref [] in
+        Txn_lib.execute_transaction tm (fun tid ->
+            for cell = cells - 1 downto 0 do
+              let v0 =
+                Int_array_server.call_get rpc ~dest:0 ~server:"a0" tid cell
+              in
+              let v1 =
+                Int_array_server.call_get rpc ~dest:1 ~server:"a1" tid cell
+              in
+              out := (v0, v1) :: !out
+            done);
+        !out)
+  in
+  (List.rev !outcomes, state)
+
+let step_gen =
+  QCheck.Gen.(
+    map3
+      (fun cell distributed commit -> { cell; distributed; commit })
+      (int_bound (cells - 1)) bool bool)
+
+let arbitrary_script =
+  QCheck.make
+    ~print:(fun s ->
+      String.concat ";"
+        (List.map
+           (fun { cell; distributed; commit } ->
+             Printf.sprintf "(%d,%b,%b)" cell distributed commit)
+           s))
+    QCheck.Gen.(list_size (int_range 2 12) step_gen)
+
+let prop_profiles_equivalent =
+  QCheck.Test.make
+    ~name:"Classic and Integrated reach identical outcomes and state"
+    ~count:12 arbitrary_script
+    (fun script ->
+      apply_script Profile.Classic script
+      = apply_script Profile.Integrated script)
+
+(* The cost side: one local transaction that reads and writes a cell.
+   Integrated must charge strictly fewer message primitives (TM->RM log
+   appends become procedure calls) and book the difference as elided. *)
+let message_weights profile =
+  let c = Cluster.create ~nodes:1 ~profile () in
+  let n0 = Cluster.node c 0 in
+  ignore (Int_array_server.create (Node.env n0) ~name:"a0" ~segment:1 ~cells ());
+  let engine = Cluster.engine c in
+  let tm = Node.tm n0 and rpc = Node.rpc n0 in
+  Cluster.run_fiber c ~node:0 (fun () ->
+      let before = Metrics.snapshot (Engine.metrics engine) in
+      Txn_lib.execute_transaction tm (fun tid ->
+          ignore (Int_array_server.call_get rpc ~dest:0 ~server:"a0" tid 0);
+          Int_array_server.call_set rpc ~dest:0 ~server:"a0" tid 0 1);
+      let d =
+        Metrics.diff ~later:(Metrics.snapshot (Engine.metrics engine)) ~earlier:before
+      in
+      let charged =
+        Metrics.weight d Cost_model.Small_contiguous_message
+        +. Metrics.weight d Cost_model.Large_contiguous_message
+        +. Metrics.weight d Cost_model.Datagram
+      in
+      (charged, Metrics.elided_weight d Cost_model.Small_contiguous_message))
+
+let test_integrated_charges_fewer_messages () =
+  let classic_charged, classic_elided = message_weights Profile.Classic in
+  let integrated_charged, integrated_elided =
+    message_weights Profile.Integrated
+  in
+  Alcotest.(check bool)
+    "Integrated charges strictly fewer message primitives" true
+    (integrated_charged < classic_charged);
+  Alcotest.(check (float 0.001)) "Classic elides nothing" 0. classic_elided;
+  Alcotest.(check bool) "Integrated books the elided hops" true
+    (integrated_elided > 0.);
+  Alcotest.(check (float 0.001))
+    "charged + elided on Integrated equals Classic's charges"
+    classic_charged
+    (integrated_charged +. integrated_elided)
+
+let suites =
+  [
+    ( "profile",
+      [
+        QCheck_alcotest.to_alcotest prop_profiles_equivalent;
+        Alcotest.test_case "Integrated charges fewer, elides the rest" `Quick
+          test_integrated_charges_fewer_messages;
+      ] );
+  ]

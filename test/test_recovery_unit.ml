@@ -26,14 +26,14 @@ let make_rig () =
   let disk = Disk.create engine in
   Disk.ensure_segment disk 1 ~pages:8;
   let stable = Stable.create () in
-  let vm = Vm.attach engine disk ~frames:16 in
+  let vm = Vm.attach engine disk ~frames:16 () in
   let log = Log_manager.attach engine stable in
   let rm = Recovery_mgr.create engine ~node:0 ~log ~vm () in
   { engine; disk; stable; vm; log; rm }
 
 (* simulate a crash: rebuild all volatile structures *)
 let crash_and_recover rig =
-  let vm = Vm.attach rig.engine rig.disk ~frames:16 in
+  let vm = Vm.attach rig.engine rig.disk ~frames:16 () in
   let log = Log_manager.attach rig.engine rig.stable in
   let rm = Recovery_mgr.create rig.engine ~node:0 ~log ~vm () in
   rig.vm <- vm;
