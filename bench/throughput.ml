@@ -5,18 +5,24 @@
    The Section 5 methodology is strictly no-load latency; TABS itself
    supports concurrent transactions (locking, coroutines), so this
    harness drives N concurrent application fibers against one node and
-   reports transactions/second and the lock-conflict profile as N
-   grows, under two contention regimes:
+   reports transactions/second, virtual-time latency percentiles, and
+   the abort profile as N grows, under two contention regimes:
 
    - disjoint: each worker owns its cells (no lock conflicts); the
      stable-storage write serializes commits, so throughput saturates
      at roughly 1/force-time;
    - contended: all workers update the same handful of cells; lock
-     waits and time-out aborts appear. *)
+     waits and time-out aborts appear.
+
+   Each point runs with the tracing subsystem attached: per-transaction
+   spans give begin-to-commit latency and the abort-reason breakdown.
+   (The Section 5 table reproductions run without tracing and are
+   unaffected.) *)
 
 open Tabs_sim
 open Tabs_core
 open Tabs_servers
+open Tabs_obs
 
 type point = {
   workers : int;
@@ -24,6 +30,10 @@ type point = {
   aborted : int;
   txn_per_sec : float;
   timeouts : int;
+  p50 : int; (* commit latency percentiles, virtual µs *)
+  p95 : int;
+  p99 : int;
+  abort_reasons : (Trace.abort_reason * int) list;
 }
 
 let run_point ~contended ~workers =
@@ -34,6 +44,7 @@ let run_point ~contended ~workers =
   in
   let tm = Node.tm node in
   let engine = Cluster.engine cluster in
+  let recorder = Recorder.attach engine in
   let horizon = 20_000_000 (* 20 virtual seconds *) in
   let committed = ref 0 and aborted = ref 0 in
   for w = 0 to workers - 1 do
@@ -51,10 +62,14 @@ let run_point ~contended ~workers =
           with
           | () -> incr committed
           | exception Errors.Lock_timeout _ -> incr aborted
+          | exception Errors.Deadlock _ -> incr aborted
           | exception Errors.Transaction_is_aborted _ -> incr aborted
         done)
   done;
   Cluster.run_until cluster ~time:(2 * horizon);
+  let spans = Span.of_entries (Recorder.entries recorder) in
+  Recorder.detach recorder;
+  let latency = Hist.of_list (Span.commit_latencies spans) in
   let timeouts =
     Tabs_lock.Lock_manager.timeouts
       (Server_lib.lock_manager (Int_array_server.server arr))
@@ -66,18 +81,36 @@ let run_point ~contended ~workers =
     txn_per_sec =
       float_of_int !committed /. (float_of_int horizon /. 1_000_000.);
     timeouts;
+    p50 = Hist.p50 latency;
+    p95 = Hist.p95 latency;
+    p99 = Hist.p99 latency;
+    abort_reasons = Span.abort_breakdown spans;
   }
+
+let ms micros = float_of_int micros /. 1000.0
+
+let reasons_string = function
+  | [] -> "-"
+  | reasons ->
+      String.concat ","
+        (List.map
+           (fun (reason, n) ->
+             Printf.sprintf "%s:%d" (Trace.reason_name reason) n)
+           reasons)
 
 let print_regime ~contended =
   Printf.printf "\n  %s cells:\n"
     (if contended then "contended (all workers share 4)" else "disjoint");
-  Printf.printf "    %8s %10s %10s %12s %9s\n" "workers" "committed"
-    "aborted" "txn/sec" "timeouts";
+  Printf.printf "    %8s %10s %10s %12s %9s %9s %9s %9s  %s\n" "workers"
+    "committed" "aborted" "txn/sec" "timeouts" "p50(ms)" "p95(ms)" "p99(ms)"
+    "aborts-by-reason";
   List.iter
     (fun workers ->
       let p = run_point ~contended ~workers in
-      Printf.printf "    %8d %10d %10d %12.2f %9d\n" p.workers p.committed
-        p.aborted p.txn_per_sec p.timeouts)
+      Printf.printf "    %8d %10d %10d %12.2f %9d %9.2f %9.2f %9.2f  %s\n"
+        p.workers p.committed p.aborted p.txn_per_sec p.timeouts (ms p.p50)
+        (ms p.p95) (ms p.p99)
+        (reasons_string p.abort_reasons))
     [ 1; 2; 4; 8 ]
 
 let print_all () =
@@ -89,4 +122,5 @@ let print_all () =
   Printf.printf
     "  (read-modify-write transactions on one node; each commit forces\n\
     \   the log once, so disjoint throughput approaches the stable-write\n\
-    \   bound; contention adds lock waits and, eventually, time-outs)\n"
+    \   bound; contention adds lock waits and, eventually, time-outs;\n\
+    \   latency percentiles are begin-to-commit spans from the trace)\n"

@@ -37,10 +37,57 @@ let profile_arg =
            processes) or $(b,integrated) (the Section 5.3 improved \
            architecture, which merges them and elides their messages).")
 
+(* Every subcommand also accepts --trace (human-readable event dump +
+   span summary on stdout) and --trace-jsonl FILE (JSON Lines export). *)
+type trace_opts = { dump : bool; jsonl : string option }
+
+let trace_arg =
+  let dump =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record structured trace events (transactions, locks, WAL, \
+             2PC phases, retransmissions) during the run and print a \
+             human-readable dump plus per-transaction span summary.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Write the recorded trace as JSON Lines to $(docv).")
+  in
+  Term.(const (fun dump jsonl -> { dump; jsonl }) $ dump $ jsonl)
+
+let trace_enabled topts = topts.dump || topts.jsonl <> None
+
+let start_trace topts c =
+  if trace_enabled topts then Some (Tabs_obs.Recorder.attach (Cluster.engine c))
+  else None
+
+let finish_trace topts = function
+  | None -> ()
+  | Some recorder ->
+      let entries = Tabs_obs.Recorder.entries recorder in
+      Tabs_obs.Recorder.detach recorder;
+      (match topts.jsonl with
+      | Some path ->
+          Tabs_obs.Jsonl.to_file path entries;
+          say "trace: wrote %d events to %s" (List.length entries) path
+      | None -> ());
+      if topts.dump then begin
+        say "--- trace (%d events) ---" (List.length entries);
+        Tabs_obs.Render.dump stdout entries;
+        Tabs_obs.Render.span_summary stdout (Tabs_obs.Span.of_entries entries);
+        flush stdout
+      end
+
 (* crash ------------------------------------------------------------------ *)
 
-let run_crash profile =
+let run_crash profile topts =
   let c = Cluster.create ~nodes:1 ~profile () in
+  let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
   let tm = Node.tm node in
@@ -73,13 +120,15 @@ let run_crash profile =
             Int_array_server.get arr tid 0)
       in
       say "cell0 after recovery = %d (the uncommitted 666 is gone)" v);
+  finish_trace topts tr;
   0
 
 (* twophase ---------------------------------------------------------------- *)
 
-let run_twophase profile nodes kill_coordinator =
+let run_twophase profile topts nodes kill_coordinator =
   let nodes = max 2 (min 5 nodes) in
   let c = Cluster.create ~nodes ~profile () in
+  let tr = start_trace topts c in
   List.iter
     (fun node ->
       ignore
@@ -150,12 +199,14 @@ let run_twophase profile nodes kill_coordinator =
       in
       say "node %d cell0 = %d" id v)
     (Cluster.nodes c);
+  finish_trace topts tr;
   0
 
 (* voting -------------------------------------------------------------------- *)
 
-let run_voting profile =
+let run_voting profile topts =
   let c = Cluster.create ~nodes:3 ~profile () in
+  let tr = start_trace topts c in
   List.iter
     (fun node ->
       ignore
@@ -192,12 +243,14 @@ let run_voting profile =
         (Option.value v ~default:"<none>")
         (Txn_lib.execute_transaction tm (fun tid ->
              Replicated_directory.entry_version dir tid ~key:"leader")));
+  finish_trace topts tr;
   0
 
 (* screen -------------------------------------------------------------------- *)
 
-let run_screen profile =
+let run_screen profile topts =
   let c = Cluster.create ~nodes:1 ~profile () in
+  let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
   let tm = Node.tm node in
@@ -215,11 +268,12 @@ let run_screen profile =
   Cluster.run c;
   say "--- final screen ---";
   Cluster.run_fiber c ~node:0 (fun () -> say "%s" (Io_server.render_text io));
+  finish_trace topts tr;
   0
 
 (* stats --------------------------------------------------------------------- *)
 
-let run_stats profile index =
+let run_stats profile topts index =
   let specs = Workload_specs.specs in
   if index < 0 || index >= List.length specs then begin
     say "benchmark index out of range (0..%d):" (List.length specs - 1);
@@ -230,6 +284,7 @@ let run_stats profile index =
     let name, nodes, body = List.nth specs index in
     say "running benchmark: %s (%d node(s))" name nodes;
     let c = Cluster.create ~nodes ~profile () in
+    let tr = start_trace topts c in
     List.iter
       (fun node ->
         ignore
@@ -269,6 +324,7 @@ let run_stats profile index =
               if w > 0.001 then say "  %-30s %6.2f" (Cost_model.name p) w)
             Cost_model.all
         end);
+    finish_trace topts tr;
     0
   end
 
@@ -276,7 +332,7 @@ let run_stats profile index =
 
 let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
-    Term.(const run_crash $ profile_arg)
+    Term.(const run_crash $ profile_arg $ trace_arg)
 
 let twophase_cmd =
   let nodes =
@@ -292,17 +348,17 @@ let twophase_cmd =
   in
   Cmd.v
     (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
-    Term.(const run_twophase $ profile_arg $ nodes $ kill)
+    Term.(const run_twophase $ profile_arg $ trace_arg $ nodes $ kill)
 
 let voting_cmd =
   Cmd.v
     (Cmd.info "voting" ~doc:"Replicated directory with weighted voting")
-    Term.(const run_voting $ profile_arg)
+    Term.(const run_voting $ profile_arg $ trace_arg)
 
 let screen_cmd =
   Cmd.v
     (Cmd.info "screen" ~doc:"Transactional display output (I/O server)")
-    Term.(const run_screen $ profile_arg)
+    Term.(const run_screen $ profile_arg $ trace_arg)
 
 let stats_cmd =
   let index =
@@ -310,7 +366,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Primitive-operation profile of one benchmark")
-    Term.(const run_stats $ profile_arg $ index)
+    Term.(const run_stats $ profile_arg $ trace_arg $ index)
 
 let () =
   let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in

@@ -2,6 +2,14 @@ open Tabs_sim
 open Tabs_storage
 open Tabs_wal
 
+type Trace.event +=
+  | Page_out of {
+      segment : int;
+      page : int;
+      seqno : int;
+      elapsed : int; (* virtual time for the whole 3-message WAL round *)
+    }
+
 type wal_hooks = {
   on_first_dirty : Disk.page_id -> unit;
   before_page_out : Disk.page_id -> unit;
@@ -78,6 +86,7 @@ let touch t frame =
    (the [before_page_out] hook) and answers with the sector sequence
    number to stamp, and the kernel reports completion. *)
 let page_out t frame =
+  let started = Engine.now t.engine in
   protocol_msg t;
   (* Snapshot at the announcement: the disk must receive exactly the
      state the Recovery Manager's go-ahead covers.  The protocol legs,
@@ -100,7 +109,16 @@ let page_out t frame =
     frame.rec_lsn <- None
   end;
   protocol_msg t;
-  match t.hooks with Some h -> h.after_page_out frame.pid | None -> ()
+  (match t.hooks with Some h -> h.after_page_out frame.pid | None -> ());
+  if Engine.tracing t.engine then
+    Engine.emit t.engine
+      (Page_out
+         {
+           segment = frame.pid.segment;
+           page = frame.pid.page;
+           seqno;
+           elapsed = Engine.now t.engine - started;
+         })
 
 let rec evict_victim t =
   let victim =

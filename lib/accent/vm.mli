@@ -24,6 +24,12 @@
 
 type t
 
+(** Trace event: one completed page-out WAL round — the three protocol
+    legs, the log force inside [before_page_out], and the disk write.
+    [elapsed] is the round's total virtual time on the evicting fiber. *)
+type Tabs_sim.Trace.event +=
+  | Page_out of { segment : int; page : int; seqno : int; elapsed : int }
+
 (** The Recovery Manager's side of the paging protocol. The hooks carry
     no message cost themselves — the kernel charges (or elides) the
     protocol messages around them according to its profile. *)

@@ -3,3 +3,5 @@ exception Transaction_is_aborted of Tabs_wal.Tid.t
 exception Server_error of string
 
 exception Lock_timeout of Tabs_wal.Object_id.t
+
+exception Deadlock of Tabs_wal.Object_id.t

@@ -12,3 +12,10 @@ exception Server_error of string
 (** Raised when a lock request times out — the deadlock-resolution
     signal; the usual reaction is to abort the transaction. *)
 exception Lock_timeout of Tabs_wal.Object_id.t
+
+(** Raised when the lock manager's waits-for-graph detector (when
+    enabled) refuses a request that would close a cycle. Like
+    {!Lock_timeout}, the usual reaction is to abort; the two are kept
+    distinct so abort accounting can tell a proven deadlock from a
+    timeout. *)
+exception Deadlock of Tabs_wal.Object_id.t

@@ -1,3 +1,4 @@
+open Tabs_sim
 open Tabs_tm
 
 let begin_transaction tm ?parent () =
@@ -14,6 +15,14 @@ let abort_transaction tm tid = Txn_mgr.abort tm tid
 
 let transaction_is_aborted tm tid = Txn_mgr.is_aborted tm tid
 
+(* Classify the exception that killed the transaction body for the
+   trace stream's abort-reason taxonomy. *)
+let abort_reason_of = function
+  | Errors.Lock_timeout _ -> Trace.Lock_timeout
+  | Errors.Deadlock _ -> Trace.Deadlock
+  | Rpc.Rpc_timeout _ -> Trace.Comm_failure
+  | _ -> Trace.Explicit
+
 let execute_transaction tm f =
   let tid = Txn_mgr.begin_txn tm in
   match f tid with
@@ -21,7 +30,7 @@ let execute_transaction tm f =
       if end_transaction tm tid then result
       else raise (Errors.Transaction_is_aborted tid)
   | exception e ->
-      Txn_mgr.abort tm tid;
+      Txn_mgr.abort tm ~reason:(abort_reason_of e) tid;
       raise e
 
 let with_subtransaction tm parent f =

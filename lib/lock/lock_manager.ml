@@ -3,9 +3,27 @@ open Tabs_wal
 
 type outcome = Granted | Timed_out | Deadlocked
 
+type Trace.event +=
+  | Lock_wait of { tid : Tid.t; obj : Object_id.t; mode : Mode.t }
+  | Lock_granted of {
+      tid : Tid.t;
+      obj : Object_id.t;
+      mode : Mode.t;
+      waited : int; (* microseconds of virtual time spent queued; 0 if
+                       granted immediately *)
+    }
+  | Lock_timed_out of {
+      tid : Tid.t;
+      obj : Object_id.t;
+      mode : Mode.t;
+      waited : int;
+    }
+
 type waiter = {
   w_tid : Tid.t;
   w_mode : Mode.t;
+  w_key : Object_id.t;
+  w_since : int; (* virtual time the wait began *)
   w_queue : outcome Engine.Waitq.t;
   mutable w_cancelled : bool;
 }
@@ -89,15 +107,37 @@ let grant_waiters t entry =
     | w :: rest ->
         if admissible t entry w.w_tid w.w_mode then begin
           entry.waiters <- rest;
-          add_hold entry w.w_tid w.w_mode;
-          ignore (Engine.Waitq.signal w.w_queue ~engine:t.engine Granted);
+          (* A waiter whose timeout fired at this same instant has already
+             been woken with None and will report [Timed_out]; [signal]
+             skips it and returns false. Granting it anyway would leave a
+             hold the requester never learns about, so the hold is added
+             only when the wake actually lands. *)
+          if Engine.Waitq.signal w.w_queue ~engine:t.engine Granted then begin
+            add_hold entry w.w_tid w.w_mode;
+            if Engine.tracing t.engine then
+              Engine.emit t.engine
+                (Lock_granted
+                   {
+                     tid = w.w_tid;
+                     obj = w.w_key;
+                     mode = w.w_mode;
+                     waited = Engine.now t.engine - w.w_since;
+                   })
+          end;
           go ()
         end
   in
   go ()
 
+let purge_cancelled entry =
+  if List.exists (fun w -> w.w_cancelled) entry.waiters then
+    entry.waiters <- List.filter (fun w -> not w.w_cancelled) entry.waiters
+
 let try_lock t tid key mode =
   let e = entry t key in
+  (* Timed-out waiters are cancelled in place; drop them before the FIFO
+     check so ghosts cannot refuse a conditional request. *)
+  purge_cancelled e;
   (* Strict FIFO: a conditional request also defers to queued waiters. *)
   if e.waiters = [] && admissible t e tid mode then begin
     add_hold e tid mode;
@@ -164,11 +204,15 @@ let lock t tid key mode ?timeout () =
       {
         w_tid = tid;
         w_mode = mode;
+        w_key = key;
+        w_since = Engine.now t.engine;
         w_queue = Engine.Waitq.create ();
         w_cancelled = false;
       }
     in
     e.waiters <- e.waiters @ [ w ];
+    if Engine.tracing t.engine then
+      Engine.emit t.engine (Lock_wait { tid; obj = key; mode });
     let timeout =
       match timeout with Some micros -> micros | None -> t.default_timeout
     in
@@ -176,7 +220,14 @@ let lock t tid key mode ?timeout () =
     | Some outcome -> outcome
     | None ->
         w.w_cancelled <- true;
+        (* Remove the ghost immediately rather than leaving it for the
+           next [grant_waiters] sweep. *)
+        e.waiters <- List.filter (fun w' -> w' != w) e.waiters;
         t.timeout_count <- t.timeout_count + 1;
+        if Engine.tracing t.engine then
+          Engine.emit t.engine
+            (Lock_timed_out
+               { tid; obj = key; mode; waited = Engine.now t.engine - w.w_since });
         (* The cancelled waiter may have been blocking others. *)
         grant_waiters t e;
         Timed_out
@@ -229,6 +280,15 @@ let transfer_to_parent t tid =
                 List.filter (fun (h, _) -> not (Tid.equal h tid)) e.holds;
               List.iter (fun m -> add_hold e parent m) modes)
         t.table
+
+let total_holds t =
+  Table.fold (fun _ e acc -> acc + List.length e.holds) t.table 0
+
+let waiting t =
+  Table.fold
+    (fun _ e acc ->
+      acc + List.length (List.filter (fun w -> not w.w_cancelled) e.waiters))
+    t.table 0
 
 let timeouts t = t.timeout_count
 

@@ -15,6 +15,28 @@
 
 type t
 
+(** Trace events (see {!Tabs_sim.Trace}): a request joining the wait
+    queue, a queued request being granted, and a wait expiring. [waited]
+    is the virtual time spent queued. Immediate grants are not traced. *)
+type Tabs_sim.Trace.event +=
+  | Lock_wait of {
+      tid : Tabs_wal.Tid.t;
+      obj : Tabs_wal.Object_id.t;
+      mode : Mode.t;
+    }
+  | Lock_granted of {
+      tid : Tabs_wal.Tid.t;
+      obj : Tabs_wal.Object_id.t;
+      mode : Mode.t;
+      waited : int;
+    }
+  | Lock_timed_out of {
+      tid : Tabs_wal.Tid.t;
+      obj : Tabs_wal.Object_id.t;
+      mode : Mode.t;
+      waited : int;
+    }
+
 type outcome =
   | Granted
   | Timed_out
@@ -77,6 +99,14 @@ val release_family : t -> Tabs_wal.Tid.t -> unit
     parent when it finishes (merging with locks the parent already
     holds). Raises [Invalid_argument] on a top-level tid. *)
 val transfer_to_parent : t -> Tabs_wal.Tid.t -> unit
+
+(** [total_holds t] counts (holder, key) hold entries across the whole
+    table — zero exactly when no transaction holds any lock. Lets tests
+    assert that a workload left nothing locked behind. *)
+val total_holds : t -> int
+
+(** [waiting t] counts live (non-cancelled) queued waiters. *)
+val waiting : t -> int
 
 (** Number of lock requests that have timed out (deadlock statistic). *)
 val timeouts : t -> int

@@ -16,6 +16,16 @@ type Network.payload +=
         (* receiver has no state for this stream and cannot accept a
            mid-stream frame: the sender must renumber and resend *)
 
+type Trace.event +=
+  | Session_retransmit of {
+      node : int;
+      peer : int;
+      attempt : int;
+      window : int; (* unacked frames resent *)
+      rto : int; (* backed-off timeout that just expired *)
+    }
+  | Session_failure of { node : int; peer : int }
+
 type out_session = {
   mutable seq : int; (* next sequence number to assign *)
   mutable acked : int; (* all < acked are acknowledged *)
@@ -24,6 +34,9 @@ type out_session = {
       (* messages assigned a seq, awaiting ack; head is oldest *)
   mutable timer_running : bool;
   mutable attempts : int;
+  mutable cur_rto : int;
+      (* current retransmission timeout: base rto, doubled per barren
+         retransmission up to rto_max, reset when an ack makes progress *)
 }
 
 type in_session = { mutable expected : int; mutable incarnation : int }
@@ -38,6 +51,7 @@ type t = {
   net : Network.t;
   node_id : int;
   rto : int;
+  rto_max : int;
   retries : int;
   mutable alive : bool;
   out_sessions : (int, out_session) Hashtbl.t;
@@ -133,6 +147,7 @@ let out_session t peer =
           unsent = Queue.create ();
           timer_running = false;
           attempts = 0;
+          cur_rto = t.rto;
         }
       in
       Hashtbl.add t.out_sessions peer s;
@@ -152,7 +167,7 @@ let send_window t ~dest (s : out_session) =
 let rec arm_timer t ~dest (s : out_session) =
   if not s.timer_running then begin
     s.timer_running <- true;
-    Engine.at (engine t) ~delay:t.rto (fun () -> on_timer t ~dest s)
+    Engine.at (engine t) ~delay:s.cur_rto (fun () -> on_timer t ~dest s)
   end
 
 and on_timer t ~dest s =
@@ -164,14 +179,32 @@ and on_timer t ~dest s =
          incarnation for any later traffic, and report the peer. *)
       Queue.clear s.unsent;
       s.attempts <- 0;
+      s.cur_rto <- t.rto;
       s.incarnation <- fresh_incarnation t;
       s.seq <- 0;
       s.acked <- 0;
+      if Engine.tracing (engine t) then
+        Engine.emit (engine t)
+          (Session_failure { node = t.node_id; peer = dest });
       let handler = t.failure_handler in
       ignore (Engine.spawn (engine t) ~node:t.node_id (fun () -> handler ~peer:dest))
     end
     else begin
+      if Engine.tracing (engine t) then
+        Engine.emit (engine t)
+          (Session_retransmit
+             {
+               node = t.node_id;
+               peer = dest;
+               attempt = s.attempts;
+               window = Queue.length s.unsent;
+               rto = s.cur_rto;
+             });
       send_window t ~dest s;
+      (* Exponential backoff: under sustained loss or a dead peer, each
+         barren round doubles the wait instead of flooding the wire at a
+         fixed cadence. An ack that makes progress resets the timeout. *)
+      s.cur_rto <- min (2 * s.cur_rto) t.rto_max;
       arm_timer t ~dest s
     end
   end
@@ -205,6 +238,7 @@ let handle_reset t ~src ~incarnation =
       Queue.transfer pending s.unsent;
       s.seq <- !n;
       s.attempts <- 0;
+      s.cur_rto <- t.rto;
       send_window t ~dest:src s;
       arm_timer t ~dest:src s
   | Some _ | None -> ()
@@ -216,6 +250,7 @@ let handle_ack t ~src ~seq ~incarnation =
       if incarnation = s.incarnation && seq >= s.acked then begin
         s.acked <- seq + 1;
         s.attempts <- 0;
+        s.cur_rto <- t.rto;
         while
           (not (Queue.is_empty s.unsent))
           && (let q, _, _ = Queue.peek s.unsent in
@@ -318,12 +353,17 @@ let set_failure_handler t f = t.failure_handler <- f
 
 let set_remote_involvement_handler t f = t.remote_involvement <- f
 
-let create net ~node ?(session_rto = 100_000) ?(session_retries = 8) () =
+let create net ~node ?(session_rto = 100_000) ?session_rto_max
+    ?(session_retries = 8) () =
+  let rto_max =
+    match session_rto_max with Some m -> max m session_rto | None -> 8 * session_rto
+  in
   let t =
     {
       net;
       node_id = node;
       rto = session_rto;
+      rto_max;
       retries = session_retries;
       alive = true;
       out_sessions = Hashtbl.create 8;

@@ -20,10 +20,29 @@
 
 type t
 
+(** Trace events: one per session-window retransmission (with the
+    attempt number and the backed-off [rto] that expired) and one when a
+    stream is declared permanently failed. *)
+type Tabs_sim.Trace.event +=
+  | Session_retransmit of {
+      node : int;
+      peer : int;
+      attempt : int;
+      window : int;
+      rto : int;
+    }
+  | Session_failure of { node : int; peer : int }
+
+(** [session_rto] is the base retransmission timeout. Each barren
+    retransmission round doubles the timeout (exponential backoff) up to
+    [session_rto_max] (default [8 * session_rto]); an acknowledgement
+    that makes progress resets it to the base. After [session_retries]
+    barren rounds the stream is declared permanently failed. *)
 val create :
   Network.t ->
   node:int ->
   ?session_rto:int ->
+  ?session_rto_max:int ->
   ?session_retries:int ->
   unit ->
   t

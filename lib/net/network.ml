@@ -9,13 +9,23 @@ type node_state = {
   mutable handlers : (channel * (src:int -> payload -> unit)) list;
 }
 
+type drop_stats = {
+  loss : int;
+  partition : int;
+  down : int;
+  no_handler : int;
+}
+
 type t = {
   engine : Engine.t;
   nodes : (int, node_state) Hashtbl.t;
   mutable partitions : (int * int) list;
   mutable loss : float;
   rng : Rng.t;
-  mutable dropped : int;
+  mutable drop_loss : int;
+  mutable drop_partition : int;
+  mutable drop_down : int;
+  mutable drop_no_handler : int;
 }
 
 let create engine ~seed =
@@ -25,7 +35,10 @@ let create engine ~seed =
     partitions = [];
     loss = 0.0;
     rng = Rng.create ~seed;
-    dropped = 0;
+    drop_loss = 0;
+    drop_partition = 0;
+    drop_down = 0;
+    drop_no_handler = 0;
   }
 
 let engine t = t.engine
@@ -60,14 +73,17 @@ let partitioned t a b = List.mem (pair a b) t.partitions
 
 let set_loss t p = t.loss <- p
 
+(* The checks keep the original short-circuit order (src up, then
+   partition, then the loss roll) so that RNG consumption — and with it
+   every seeded run — is unchanged by the per-cause accounting. *)
 let transmit t ~src ~dest ~channel ~delay payload =
   let src_state = state t src in
   let dest_ok () = (state t dest).up in
-  if
-    (not src_state.up)
-    || partitioned t src dest
-    || (t.loss > 0.0 && Rng.bool t.rng ~p:t.loss)
-  then t.dropped <- t.dropped + 1
+  if not src_state.up then t.drop_down <- t.drop_down + 1
+  else if partitioned t src dest then
+    t.drop_partition <- t.drop_partition + 1
+  else if t.loss > 0.0 && Rng.bool t.rng ~p:t.loss then
+    t.drop_loss <- t.drop_loss + 1
   else
     Engine.at t.engine ~delay (fun () ->
         if dest_ok () then begin
@@ -76,10 +92,19 @@ let transmit t ~src ~dest ~channel ~delay payload =
               ignore
                 (Engine.spawn t.engine ~node:dest (fun () ->
                      handler ~src payload))
-          | None -> t.dropped <- t.dropped + 1
+          | None -> t.drop_no_handler <- t.drop_no_handler + 1
         end
-        else t.dropped <- t.dropped + 1)
+        else t.drop_down <- t.drop_down + 1)
 
 let nodes t = Hashtbl.fold (fun node _ acc -> node :: acc) t.nodes [] |> List.sort compare
 
-let dropped t = t.dropped
+let drops t =
+  {
+    loss = t.drop_loss;
+    partition = t.drop_partition;
+    down = t.drop_down;
+    no_handler = t.drop_no_handler;
+  }
+
+let dropped t =
+  t.drop_loss + t.drop_partition + t.drop_down + t.drop_no_handler

@@ -50,5 +50,17 @@ val transmit :
 (** [nodes t] lists nodes that have ever registered. *)
 val nodes : t -> int list
 
-(** Count of transmissions dropped by loss, partition, or down nodes. *)
+(** Dropped transmissions broken down by cause: the random loss roll, a
+    severed link, a down endpoint (source or destination), and delivery
+    to a node with no handler registered on the channel. *)
+type drop_stats = {
+  loss : int;
+  partition : int;
+  down : int;
+  no_handler : int;
+}
+
+val drops : t -> drop_stats
+
+(** Total dropped transmissions — the sum over {!drops}' causes. *)
 val dropped : t -> int

@@ -1,0 +1,248 @@
+open Tabs_sim
+open Tabs_wal
+open Tabs_lock
+open Tabs_accent
+open Tabs_net
+open Tabs_recovery
+open Tabs_tm
+
+(* One decoded view of an event, shared by the human-readable renderer
+   and the JSONL exporter: a type name plus ordered (key, value)
+   fields. *)
+type value = Int of int | Str of string | Ints of int list
+
+type info = { name : string; fields : (string * value) list }
+
+let tid t = Str (Tid.to_string t)
+
+let obj o = Str (Format.asprintf "%a" Object_id.pp o)
+
+let mode m = Str (Format.asprintf "%a" Mode.pp m)
+
+let vote = function
+  | Txn_mgr.Yes -> Str "yes"
+  | Txn_mgr.No -> Str "no"
+  | Txn_mgr.Read_only -> Str "read_only"
+
+let outcome = function
+  | Txn_mgr.Committed -> Str "committed"
+  | Txn_mgr.Aborted -> Str "aborted"
+
+let inspect (ev : Trace.event) =
+  match ev with
+  (* engine *)
+  | Trace.Note s -> { name = "note"; fields = [ ("text", Str s) ] }
+  (* lock manager *)
+  | Lock_manager.Lock_wait e ->
+      {
+        name = "lock_wait";
+        fields = [ ("tid", tid e.tid); ("obj", obj e.obj); ("mode", mode e.mode) ];
+      }
+  | Lock_manager.Lock_granted e ->
+      {
+        name = "lock_granted";
+        fields =
+          [
+            ("tid", tid e.tid);
+            ("obj", obj e.obj);
+            ("mode", mode e.mode);
+            ("waited", Int e.waited);
+          ];
+      }
+  | Lock_manager.Lock_timed_out e ->
+      {
+        name = "lock_timeout";
+        fields =
+          [
+            ("tid", tid e.tid);
+            ("obj", obj e.obj);
+            ("mode", mode e.mode);
+            ("waited", Int e.waited);
+          ];
+      }
+  (* write-ahead log *)
+  | Log_manager.Wal_append e ->
+      {
+        name = "wal_append";
+        fields =
+          (("lsn", Int e.lsn) :: ("kind", Str e.kind)
+          :: (match e.tid with Some t -> [ ("tid", tid t) ] | None -> []));
+      }
+  | Log_manager.Log_force e ->
+      {
+        name = "log_force";
+        fields =
+          [
+            ("upto", Int e.upto);
+            ("records", Int e.records);
+            ("bytes", Int e.bytes);
+            ("pages", Int e.pages);
+          ];
+      }
+  (* virtual memory / page-out WAL protocol *)
+  | Vm.Page_out e ->
+      {
+        name = "page_out";
+        fields =
+          [
+            ("segment", Int e.segment);
+            ("page", Int e.page);
+            ("seqno", Int e.seqno);
+            ("elapsed", Int e.elapsed);
+          ];
+      }
+  (* session layer *)
+  | Comm_mgr.Session_retransmit e ->
+      {
+        name = "session_retransmit";
+        fields =
+          [
+            ("node", Int e.node);
+            ("peer", Int e.peer);
+            ("attempt", Int e.attempt);
+            ("window", Int e.window);
+            ("rto", Int e.rto);
+          ];
+      }
+  | Comm_mgr.Session_failure e ->
+      {
+        name = "session_failure";
+        fields = [ ("node", Int e.node); ("peer", Int e.peer) ];
+      }
+  (* recovery manager *)
+  | Recovery_mgr.Rm_checkpoint e ->
+      {
+        name = "checkpoint";
+        fields =
+          [
+            ("node", Int e.node);
+            ("lsn", Int e.lsn);
+            ("dirty", Int e.dirty);
+            ("active", Int e.active);
+          ];
+      }
+  | Recovery_mgr.Rm_recovered e ->
+      {
+        name = "recovered";
+        fields =
+          [
+            ("node", Int e.node);
+            ("scanned", Int e.scanned);
+            ("losers", Int e.losers);
+            ("in_doubt", Int e.in_doubt);
+          ];
+      }
+  (* transaction manager / 2PC *)
+  | Txn_mgr.Txn_begin e ->
+      { name = "txn_begin"; fields = [ ("node", Int e.node); ("tid", tid e.tid) ] }
+  | Txn_mgr.Txn_commit e ->
+      {
+        name = "txn_commit";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("distributed", Str (if e.distributed then "true" else "false"));
+          ];
+      }
+  | Txn_mgr.Txn_abort e ->
+      {
+        name = "txn_abort";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("reason", Str (Trace.reason_name e.reason));
+          ];
+      }
+  | Txn_mgr.Prepare_sent e ->
+      {
+        name = "prepare_sent";
+        fields =
+          [ ("node", Int e.node); ("tid", tid e.tid); ("dests", Ints e.dests) ];
+      }
+  | Txn_mgr.Prepare_received e ->
+      {
+        name = "prepare_received";
+        fields = [ ("node", Int e.node); ("tid", tid e.tid); ("src", Int e.src) ];
+      }
+  | Txn_mgr.Vote_sent e ->
+      {
+        name = "vote_sent";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("dest", Int e.dest);
+            ("vote", vote e.vote);
+          ];
+      }
+  | Txn_mgr.Vote_received e ->
+      {
+        name = "vote_received";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("src", Int e.src);
+            ("vote", vote e.vote);
+          ];
+      }
+  | Txn_mgr.Verdict_sent e ->
+      {
+        name = "verdict_sent";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("outcome", outcome e.outcome);
+            ("dests", Ints e.dests);
+          ];
+      }
+  | Txn_mgr.Verdict_received e ->
+      {
+        name = "verdict_received";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("outcome", outcome e.outcome);
+            ("src", Int e.src);
+          ];
+      }
+  | Txn_mgr.Ack_received e ->
+      {
+        name = "ack_received";
+        fields = [ ("node", Int e.node); ("tid", tid e.tid); ("src", Int e.src) ];
+      }
+  | Txn_mgr.Prepared_in_doubt e ->
+      {
+        name = "prepared_in_doubt";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("coordinator", Int e.coordinator);
+          ];
+      }
+  | Txn_mgr.In_doubt_resolved e ->
+      {
+        name = "in_doubt_resolved";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("outcome", outcome e.outcome);
+          ];
+      }
+  | Txn_mgr.Status_query_sent e ->
+      {
+        name = "status_query_sent";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("coordinator", Int e.coordinator);
+          ];
+      }
+  | _ -> { name = "unknown"; fields = [] }

@@ -1,0 +1,10 @@
+(** Decodes the extensible {!Tabs_sim.Trace.event} constructors of every
+    layer into a uniform (name, fields) view — the single place that
+    knows them all. Constructors added by layers this library does not
+    know decode as ["unknown"]. *)
+
+type value = Int of int | Str of string | Ints of int list
+
+type info = { name : string; fields : (string * value) list }
+
+val inspect : Tabs_sim.Trace.event -> info

@@ -1,0 +1,46 @@
+(* JSON Lines export: one object per event, hand-rolled (no JSON
+   dependency). Keys are fixed per event type; "t" is the virtual
+   timestamp in microseconds and "type" the event name. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Event_info.Int n -> string_of_int n
+  | Event_info.Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Event_info.Ints l ->
+      Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int l))
+
+let entry_to_json ({ time; event } : Recorder.entry) =
+  let info = Event_info.inspect event in
+  let fields =
+    List.map
+      (fun (k, v) -> Printf.sprintf ",\"%s\":%s" (escape k) (value_to_json v))
+      info.fields
+  in
+  Printf.sprintf "{\"t\":%d,\"type\":\"%s\"%s}" time (escape info.name)
+    (String.concat "" fields)
+
+let to_channel oc entries =
+  List.iter
+    (fun entry ->
+      output_string oc (entry_to_json entry);
+      output_char oc '\n')
+    entries
+
+let to_file path entries =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc entries)

@@ -1,0 +1,112 @@
+open Tabs_sim
+open Tabs_wal
+open Tabs_lock
+open Tabs_tm
+
+type outcome = Committed | Aborted of Trace.abort_reason
+
+type t = {
+  tid : Tid.t;
+  origin : int; (* node that emitted Txn_begin *)
+  began : int;
+  mutable ended : int option;
+  mutable outcome : outcome option;
+  mutable distributed : bool;
+  mutable lock_wait : int; (* summed over the whole family, all nodes *)
+  mutable lock_waits : int;
+  mutable lock_timeouts : int;
+  mutable prepare_sent_at : int option; (* coordinator's phase one start *)
+}
+
+(* Derive per-transaction spans from a recorded event stream. A span
+   opens at the coordinator's [Txn_begin] and closes at the same node's
+   [Txn_commit]/[Txn_abort]; subordinate outcome events for the same
+   transaction are ignored (they echo the coordinator's verdict). Lock
+   events are folded into the family's span wherever they occurred. *)
+let of_entries entries =
+  let spans : (Tid.t, t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let find tid = Hashtbl.find_opt spans (Tid.top_level tid) in
+  let close node time outcome =
+    function
+    | Some s when s.origin = node && s.outcome = None ->
+        s.ended <- Some time;
+        s.outcome <- Some outcome
+    | Some _ | None -> ()
+  in
+  List.iter
+    (fun ({ time; event } : Recorder.entry) ->
+      match event with
+      | Txn_mgr.Txn_begin { node; tid } ->
+          if not (Hashtbl.mem spans tid) then begin
+            let s =
+              {
+                tid;
+                origin = node;
+                began = time;
+                ended = None;
+                outcome = None;
+                distributed = false;
+                lock_wait = 0;
+                lock_waits = 0;
+                lock_timeouts = 0;
+                prepare_sent_at = None;
+              }
+            in
+            Hashtbl.add spans tid s;
+            order := s :: !order
+          end
+      | Txn_mgr.Txn_commit { node; tid; distributed } ->
+          (match find tid with
+          | Some s when s.origin = node -> s.distributed <- distributed
+          | _ -> ());
+          close node time Committed (find tid)
+      | Txn_mgr.Txn_abort { node; tid; reason } ->
+          close node time (Aborted reason) (find tid)
+      | Txn_mgr.Prepare_sent { node; tid; _ } -> (
+          match find tid with
+          | Some s when s.origin = node && s.prepare_sent_at = None ->
+              s.prepare_sent_at <- Some time
+          | _ -> ())
+      | Lock_manager.Lock_granted { tid; waited; _ } -> (
+          match find tid with
+          | Some s ->
+              s.lock_wait <- s.lock_wait + waited;
+              s.lock_waits <- s.lock_waits + 1
+          | None -> ())
+      | Lock_manager.Lock_timed_out { tid; waited; _ } -> (
+          match find tid with
+          | Some s ->
+              s.lock_wait <- s.lock_wait + waited;
+              s.lock_timeouts <- s.lock_timeouts + 1
+          | None -> ())
+      | _ -> ())
+    entries;
+  List.rev !order
+
+let duration s = match s.ended with Some e -> Some (e - s.began) | None -> None
+
+let complete s = s.outcome <> None
+
+let balanced spans = List.for_all complete spans
+
+let commit_latencies spans =
+  List.filter_map
+    (fun s ->
+      match (s.outcome, s.ended) with
+      | Some Committed, Some e -> Some (e - s.began)
+      | _ -> None)
+    spans
+
+let abort_breakdown spans =
+  let tally = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match s.outcome with
+      | Some (Aborted reason) ->
+          let n = try Hashtbl.find tally reason with Not_found -> 0 in
+          Hashtbl.replace tally reason (n + 1)
+      | _ -> ())
+    spans;
+  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,42 @@
+(** Per-transaction spans derived from a recorded trace.
+
+    A span opens at the coordinator's [Txn_begin] and closes at the same
+    node's [Txn_commit] or [Txn_abort]; subordinate echoes of the
+    verdict are ignored. Lock waits anywhere in the transaction's family
+    (any node, any subtransaction) are folded into the span. *)
+
+type outcome = Committed | Aborted of Tabs_sim.Trace.abort_reason
+
+type t = {
+  tid : Tabs_wal.Tid.t;
+  origin : int;  (** node that began the transaction *)
+  began : int;
+  mutable ended : int option;
+  mutable outcome : outcome option;
+  mutable distributed : bool;
+  mutable lock_wait : int;  (** total µs spent queued for locks *)
+  mutable lock_waits : int;  (** queued requests eventually granted *)
+  mutable lock_timeouts : int;
+  mutable prepare_sent_at : int option;
+      (** when the coordinator launched phase one, for distributed
+          transactions that reached it *)
+}
+
+(** Spans in [Txn_begin] order. *)
+val of_entries : Recorder.entry list -> t list
+
+(** Virtual-time latency from begin to verdict, once ended. *)
+val duration : t -> int option
+
+val complete : t -> bool
+
+(** Every derived span reached a verdict — no transaction was left
+    open in the trace. *)
+val balanced : t list -> bool
+
+(** Begin-to-commit virtual-time latencies of committed spans. *)
+val commit_latencies : t list -> int list
+
+(** Aborted spans tallied by reason, most frequent first. *)
+val abort_breakdown :
+  t list -> (Tabs_sim.Trace.abort_reason * int) list

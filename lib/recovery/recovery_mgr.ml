@@ -5,6 +5,15 @@ open Tabs_accent
 
 type txn_status = Committed | Aborted | Prepared of int | Active
 
+type Trace.event +=
+  | Rm_checkpoint of { node : int; lsn : int; dirty : int; active : int }
+  | Rm_recovered of {
+      node : int;
+      scanned : int;
+      losers : int;
+      in_doubt : int;
+    }
+
 type op_handler = { redo : op:string -> arg:string -> unit;
                     undo : op:string -> arg:string -> unit }
 
@@ -201,6 +210,15 @@ let checkpoint t =
   let lsn =
     Log_manager.append t.log (Record.Checkpoint { dirty_pages; active_txns })
   in
+  if Engine.tracing t.engine then
+    Engine.emit t.engine
+      (Rm_checkpoint
+         {
+           node = t.node;
+           lsn;
+           dirty = List.length dirty_pages;
+           active = List.length active_txns;
+         });
   Log_manager.force_all t.log;
   lsn
 
@@ -421,6 +439,15 @@ let recover t =
   Log_manager.force_all t.log;
   Log_manager.truncate t.log ~keep_from:(min keep_from ck);
   t.last_statuses <- a.statuses;
+  if Engine.tracing t.engine then
+    Engine.emit t.engine
+      (Rm_recovered
+         {
+           node = t.node;
+           scanned = Array.length a.records;
+           losers = List.length losers;
+           in_doubt = List.length in_doubt;
+         });
   {
     losers;
     in_doubt;

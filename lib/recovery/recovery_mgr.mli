@@ -23,6 +23,17 @@ type txn_status =
   | Prepared of int  (** in doubt; argument is the coordinator node *)
   | Active  (** no outcome on the log: a loser at crash recovery *)
 
+(** Trace events: a checkpoint record written (with the table sizes it
+    captured) and the completion of a crash-recovery pass. *)
+type Tabs_sim.Trace.event +=
+  | Rm_checkpoint of { node : int; lsn : int; dirty : int; active : int }
+  | Rm_recovered of {
+      node : int;
+      scanned : int;
+      losers : int;
+      in_doubt : int;
+    }
+
 (** Logical undo/redo callbacks a data server registers for its
     operation-logged objects. They run during abort and crash recovery,
     with the server's recoverable segment already mapped; [redo] must be

@@ -8,6 +8,7 @@ type t = {
   cpu : (string, int ref) Hashtbl.t;
   epochs : (int, int) Hashtbl.t;
   mutable next_fiber : int;
+  mutable tracer : Trace.sink option;
 }
 
 type fiber = { id : int; node : int option; epoch : int; engine : t }
@@ -21,6 +22,7 @@ let create ?(cost_model = Cost_model.measured) () =
     cpu = Hashtbl.create 8;
     epochs = Hashtbl.create 8;
     next_fiber = 0;
+    tracer = None;
   }
 
 let now t = t.now
@@ -30,6 +32,12 @@ let set_cost_model t m = t.model <- m
 let cost_model t = t.model
 
 let metrics t = t.metrics
+
+let set_tracer t sink = t.tracer <- sink
+
+let tracing t = match t.tracer with None -> false | Some _ -> true
+
+let emit t ev = match t.tracer with None -> () | Some sink -> sink ~time:t.now ev
 
 let at t ~delay fn =
   assert (delay >= 0);

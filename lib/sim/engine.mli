@@ -35,6 +35,25 @@ val cost_model : t -> Cost_model.t
 (** Engine-global primitive-operation counters (see {!Metrics}). *)
 val metrics : t -> Metrics.t
 
+(** {2 Tracing}
+
+    An optional observer of typed {!Trace.event}s, stamped with the
+    virtual time at emission. Purely observational: installing a sink
+    never changes metrics, delays, or scheduling order. *)
+
+(** [set_tracer t sink] installs (or, with [None], removes) the trace
+    sink. At most one sink is installed; installing replaces. *)
+val set_tracer : t -> Trace.sink option -> unit
+
+(** [tracing t] is true when a sink is installed. Emission sites must
+    guard event construction with this so that tracing is allocation-free
+    when disabled: [if Engine.tracing e then Engine.emit e (Ev {...})]. *)
+val tracing : t -> bool
+
+(** [emit t ev] forwards [ev] to the installed sink, stamped with
+    [now t]. A no-op when no sink is installed. *)
+val emit : t -> Trace.event -> unit
+
 (** [at t ~delay fn] schedules plain callback [fn] to run [delay]
     microseconds from now. Callbacks are not fibers and must not perform
     fiber effects; they may spawn fibers or signal wait queues. *)

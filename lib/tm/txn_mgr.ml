@@ -7,6 +7,35 @@ type outcome = Committed | Aborted
 
 type vote = Yes | No | Read_only
 
+(* 2PC trace events. [node] is the node observing the transition, so a
+   distributed commit interleaves events from every tree node in one
+   stream. Spans (lib/obs) use the coordinator's Txn_begin/commit/abort
+   as the transaction's boundaries. *)
+type Trace.event +=
+  | Txn_begin of { node : int; tid : Tid.t }
+  | Txn_commit of { node : int; tid : Tid.t; distributed : bool }
+  | Txn_abort of { node : int; tid : Tid.t; reason : Trace.abort_reason }
+  | Prepare_sent of { node : int; tid : Tid.t; dests : int list }
+  | Prepare_received of { node : int; tid : Tid.t; src : int }
+  | Vote_sent of { node : int; tid : Tid.t; dest : int; vote : vote }
+  | Vote_received of { node : int; tid : Tid.t; src : int; vote : vote }
+  | Verdict_sent of {
+      node : int;
+      tid : Tid.t;
+      outcome : outcome;
+      dests : int list;
+    }
+  | Verdict_received of {
+      node : int;
+      tid : Tid.t;
+      outcome : outcome;
+      src : int;
+    }
+  | Ack_received of { node : int; tid : Tid.t; src : int }
+  | Prepared_in_doubt of { node : int; tid : Tid.t; coordinator : int }
+  | In_doubt_resolved of { node : int; tid : Tid.t; outcome : outcome }
+  | Status_query_sent of { node : int; tid : Tid.t; coordinator : int }
+
 type Network.payload +=
   | Tm_prepare of Tid.t
   | Tm_vote of Tid.t * vote
@@ -30,6 +59,9 @@ type gather = {
   mutable awaiting : int list;
   mutable any_no : bool;
   mutable all_read_only : bool;
+  mutable timed_out : bool;
+      (* some child never answered within the vote timeout — the abort
+         is a communication failure, not a No vote *)
   signal : unit Engine.Waitq.t;
 }
 
@@ -69,6 +101,10 @@ let register_server t ~name callbacks = Hashtbl.replace t.servers name callbacks
 
 let small t = Engine.charge t.engine Cost_model.Small_contiguous_message
 
+let tracing t = Engine.tracing t.engine
+
+let emit t ev = Engine.emit t.engine ev
+
 let joined_servers t tid =
   match Hashtbl.find_opt t.joined (Tid.top_level tid) with
   | Some names -> !names
@@ -85,6 +121,7 @@ let begin_txn t =
   t.next_seq <- t.next_seq + 1;
   Comm_mgr.note_local_root t.cm tid;
   ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_begin tid));
+  if tracing t then emit t (Txn_begin { node = t.node_id; tid });
   small t;
   tid
 
@@ -173,6 +210,7 @@ let new_gather () table top children =
       awaiting = children;
       any_no = false;
       all_read_only = true;
+      timed_out = false;
       signal = Engine.Waitq.create ();
     }
   in
@@ -201,7 +239,10 @@ let wait_gather t g =
       Engine.Waitq.wait_timeout g.signal ~engine:t.engine ~timeout:t.vote_timeout
     with
     | Some () -> ()
-    | None -> g.any_no <- true (* a silent child is presumed crashed *)
+    | None ->
+        (* a silent child is presumed crashed *)
+        g.any_no <- true;
+        g.timed_out <- true
 
 (* Outcome distribution down the tree ---------------------------------- *)
 
@@ -212,6 +253,9 @@ let propagate_outcome t top outcome ~to_nodes =
       let payload =
         match outcome with Committed -> Tm_commit top | Aborted -> Tm_abort top
       in
+      if tracing t then
+        emit t
+          (Verdict_sent { node = t.node_id; tid = top; outcome; dests = nodes });
       Comm_mgr.send_datagrams_parallel t.cm ~dests:nodes payload
 
 (* "Checkpoints are performed at intervals determined by the
@@ -233,9 +277,10 @@ let record_outcome t top outcome =
   if outcome = Committed then maybe_periodic_checkpoint t
 
 (* Abort of a top-level transaction (local part + propagation). *)
-let abort_top t top ~children =
+let abort_top t top ~children ~reason =
   if not (Hashtbl.mem t.outcomes top) then begin
     record_outcome t top Aborted;
+    if tracing t then emit t (Txn_abort { node = t.node_id; tid = top; reason });
     Hashtbl.replace t.aborted top ();
     if family_wrote_locally t top then undo_family_local t top;
     ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_abort top));
@@ -253,7 +298,7 @@ let commit_local t top =
   Engine.charge_cpu t.engine ~process:"rm"
     (Overheads.rm_local_readonly + if wrote then Overheads.rm_commit_write else 0);
   if not (local_votes_ok t top) then begin
-    abort_top t top ~children:[];
+    abort_top t top ~children:[] ~reason:Trace.Vote_no;
     forget t top;
     small t;
     (* verdict to application *)
@@ -265,6 +310,8 @@ let commit_local t top =
       Recovery_mgr.force_through t.rm lsn
     end;
     record_outcome t top Committed;
+    if tracing t then
+      emit t (Txn_commit { node = t.node_id; tid = top; distributed = false });
     notify_local_servers t top Committed;
     forget t top;
     small t;
@@ -281,12 +328,19 @@ let commit_distributed t top =
     (Overheads.rm_local_readonly + if wrote then Overheads.rm_commit_write else 0);
   let children = Comm_mgr.children_of t.cm top in
   let g = new_gather () t.gathers top children in
+  if tracing t then
+    emit t (Prepare_sent { node = t.node_id; tid = top; dests = children });
   Comm_mgr.send_datagrams_parallel t.cm ~dests:children (Tm_prepare top);
   let local_ok = local_votes_ok t top in
   wait_gather t g;
   Hashtbl.remove t.gathers top;
   if g.any_no || not local_ok then begin
-    abort_top t top ~children;
+    let reason =
+      if not local_ok then Trace.Vote_no
+      else if g.timed_out then Trace.Comm_failure
+      else Trace.Vote_no
+    in
+    abort_top t top ~children ~reason;
     forget t top;
     small t;
     Aborted
@@ -295,6 +349,8 @@ let commit_distributed t top =
     (* Whole tree read-only: one phase suffices; subordinates already
        released their locks when they voted Read_only. *)
     record_outcome t top Committed;
+    if tracing t then
+      emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
     notify_local_servers t top Committed;
     forget t top;
     small t;
@@ -304,6 +360,8 @@ let commit_distributed t top =
     let lsn = Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top) in
     Recovery_mgr.force_through t.rm lsn;
     record_outcome t top Committed;
+    if tracing t then
+      emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
     notify_local_servers t top Committed;
     (* Second phase goes only to children that held updates. The
        transaction is decided once the commit record is stable, so on an
@@ -341,9 +399,45 @@ let start_resolver t top ~coordinator ~delay =
            | None -> () (* resolved meanwhile *)
            | Some _ when attempts >= 100 -> ()
            | Some _ ->
+               if tracing t then
+                 emit t
+                   (Status_query_sent { node = t.node_id; tid = top; coordinator });
                Comm_mgr.send_datagram t.cm ~dest:coordinator
                  (Tm_status_query top);
                loop (attempts + 1)
+         in
+         loop 0))
+
+(* A node drawn into a transaction by remote traffic may never hear the
+   verdict: under presumed abort the coordinator's Tm_abort is a single
+   unacknowledged datagram, so if it is lost before the participant was
+   even prepared, the participant would hold its write locks forever
+   (the in-doubt resolver only covers prepared participants). Watch for
+   that: long after any healthy transaction has finished, start asking
+   up the tree. The coordinator stays silent while still deciding and
+   answers with the recorded outcome — or presumed abort — once done. *)
+let start_orphan_watchdog t top =
+  ignore
+    (Engine.spawn t.engine ~node:t.node_id (fun () ->
+         let rec loop attempts =
+           Engine.delay (if attempts = 0 then 10_000_000 else 3_000_000);
+           if (not (Hashtbl.mem t.outcomes top)) && attempts < 100 then begin
+             (* once prepared, the in-doubt resolver owns the querying *)
+             if not (Hashtbl.mem t.participants top) then begin
+               let coordinator =
+                 match Comm_mgr.parent_of t.cm top with
+                 | Some p -> p
+                 | None -> top.Tid.node
+               in
+               if tracing t then
+                 emit t
+                   (Status_query_sent
+                      { node = t.node_id; tid = top; coordinator });
+               Comm_mgr.send_datagram t.cm ~dest:coordinator
+                 (Tm_status_query top)
+             end;
+             loop (attempts + 1)
+           end
          in
          loop 0))
 
@@ -351,25 +445,38 @@ let start_resolver t top ~coordinator ~delay =
    spanning-tree parent: recursively prepares this node's subtree and
    votes upward. *)
 let handle_prepare t top ~src =
+  if tracing t then emit t (Prepare_received { node = t.node_id; tid = top; src });
   Engine.charge_cpu t.engine ~process:"tm" Overheads.tm_commit_write;
   let children = Comm_mgr.children_of t.cm top in
   let g = new_gather () t.gathers top children in
+  if tracing t then
+    emit t (Prepare_sent { node = t.node_id; tid = top; dests = children });
   Comm_mgr.send_datagrams_parallel t.cm ~dests:children (Tm_prepare top);
   let local_ok = local_votes_ok t top in
   wait_gather t g;
   Hashtbl.remove t.gathers top;
   let wrote = family_wrote_locally t top in
+  let send_vote vote =
+    if tracing t then
+      emit t (Vote_sent { node = t.node_id; tid = top; dest = src; vote });
+    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, vote))
+  in
   if g.any_no || not local_ok then begin
-    abort_top t top ~children;
+    let reason =
+      if not local_ok then Trace.Vote_no
+      else if g.timed_out then Trace.Comm_failure
+      else Trace.Vote_no
+    in
+    abort_top t top ~children ~reason;
     forget t top;
-    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, No))
+    send_vote No
   end
   else if t.read_only_optimization && (not wrote) && g.all_read_only then begin
     (* Read-only subtree: release and drop out of phase two. *)
     record_outcome t top Committed;
     notify_local_servers t top Committed;
     forget t top;
-    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, Read_only))
+    send_vote Read_only
   end
   else begin
     let lsn =
@@ -378,31 +485,44 @@ let handle_prepare t top ~src =
     Recovery_mgr.force_through t.rm lsn;
     Hashtbl.replace t.participants top
       { p_tid = top; p_coordinator = src; p_resolved = false };
+    if tracing t then
+      emit t (Prepared_in_doubt { node = t.node_id; tid = top; coordinator = src });
     (* If the coordinator's verdict never arrives we are blocked in
        doubt; keep asking. The generous first delay keeps queries off
        the wire in healthy runs. *)
     start_resolver t top ~coordinator:src ~delay:3_000_000;
-    Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, Yes))
+    send_vote Yes
   end
 
 let apply_decided_outcome t top outcome ~ack_to =
   (* The verdict may reach us in the prepared state (normal phase two),
      or while still active (a coordinator-initiated abort), or again
      (duplicate datagram). Only the first arrival is applied. *)
-  (match Hashtbl.find_opt t.participants top with
-  | Some p ->
-      p.p_resolved <- true;
-      Hashtbl.remove t.participants top
-  | None -> ());
+  let was_in_doubt =
+    match Hashtbl.find_opt t.participants top with
+    | Some p ->
+        p.p_resolved <- true;
+        Hashtbl.remove t.participants top;
+        true
+    | None -> false
+  in
   if Hashtbl.mem t.outcomes top then
     Option.iter
       (fun dest -> Comm_mgr.send_datagram t.cm ~dest (Tm_ack top))
       ack_to
   else begin
+      if was_in_doubt && tracing t then
+        emit t (In_doubt_resolved { node = t.node_id; tid = top; outcome });
       (match outcome with
       | Committed ->
+          if tracing t then
+            emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
           ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top))
       | Aborted ->
+          if tracing t then
+            emit t
+              (Txn_abort
+                 { node = t.node_id; tid = top; reason = Trace.Remote_verdict });
           Hashtbl.replace t.aborted top ();
           if family_wrote_locally t top then undo_family_local t top;
           ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_abort top)));
@@ -422,14 +542,23 @@ let apply_decided_outcome t top outcome ~ack_to =
 
 (* In-doubt resolution: a prepared participant that hears nothing asks
    its coordinator. Presumed abort: a coordinator with no record of the
-   transaction answers Aborted. *)
+   transaction answers Aborted — but only once it genuinely has no
+   record. While the transaction is still live here (running, gathering
+   votes, or itself in doubt) we stay silent and let the asker retry;
+   answering Aborted for a transaction that may yet commit would split
+   the tree's outcome. *)
+let locally_live t top =
+  Hashtbl.mem t.joined top
+  || Hashtbl.mem t.gathers top
+  || Hashtbl.mem t.participants top
+  || Comm_mgr.involved_remotely t.cm top
+
 let handle_status_query t top ~src =
-  let reply =
-    match Hashtbl.find_opt t.outcomes top with
-    | Some o -> o
-    | None -> Aborted (* presumed abort *)
-  in
-  Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, reply))
+  match Hashtbl.find_opt t.outcomes top with
+  | Some o -> Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, o))
+  | None ->
+      if not (locally_live t top) then
+        Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, Aborted))
 
 (* Public entry points -------------------------------------------------- *)
 
@@ -448,11 +577,11 @@ let commit t tid =
   else if Comm_mgr.involved_remotely t.cm tid then commit_distributed t tid
   else commit_local t tid
 
-let abort t tid =
+let abort t ?(reason = Trace.Explicit) tid =
   small t;
   if Tid.is_top tid then begin
     let children = Comm_mgr.children_of t.cm tid in
-    abort_top t tid ~children;
+    abort_top t tid ~children ~reason;
     forget t tid
   end
   else begin
@@ -485,11 +614,18 @@ let recover t (summary : Recovery_mgr.recovery_outcome) =
       | Recovery_mgr.Aborted -> Hashtbl.replace t.outcomes tid Aborted
       | Recovery_mgr.Prepared _ | Recovery_mgr.Active -> ())
     (Recovery_mgr.statuses t.rm);
-  List.iter (fun tid -> Hashtbl.replace t.aborted tid ()) summary.losers;
+  List.iter
+    (fun tid ->
+      Hashtbl.replace t.aborted tid ();
+      if tracing t then
+        emit t (Txn_abort { node = t.node_id; tid; reason = Trace.Crash }))
+    summary.losers;
   List.iter
     (fun (tid, coordinator) ->
       Hashtbl.replace t.participants tid
         { p_tid = tid; p_coordinator = coordinator; p_resolved = false };
+      if tracing t then
+        emit t (Prepared_in_doubt { node = t.node_id; tid; coordinator });
       start_resolver t tid ~coordinator ~delay:200_000)
     summary.in_doubt
 
@@ -526,23 +662,51 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
     }
   in
   Recovery_mgr.set_active_txns_source rm (fun () -> active_txns t);
-  Comm_mgr.set_remote_involvement_handler cm (fun _tid ->
+  Comm_mgr.set_remote_involvement_handler cm (fun tid ->
       (* the Communication Manager's first-spread notice to the TM *)
-      Metrics.record (Engine.metrics engine) Cost_model.Small_contiguous_message);
+      Metrics.record (Engine.metrics engine) Cost_model.Small_contiguous_message;
+      let top = Tid.top_level tid in
+      if top.Tid.node <> node then start_orphan_watchdog t top);
   Comm_mgr.add_datagram_handler cm (fun ~src payload ->
       match payload with
       | Tm_prepare top -> handle_prepare t top ~src
       | Tm_vote (top, v) ->
+          if tracing t then
+            emit t (Vote_received { node = t.node_id; tid = top; src; vote = v });
           gather_note t t.gathers top src v;
           if v = No then
             (* make sure a blocked coordinator learns promptly *)
             gather_note t t.gathers top src No
-      | Tm_commit top -> apply_decided_outcome t top Committed ~ack_to:(Some src)
-      | Tm_abort top -> apply_decided_outcome t top Aborted ~ack_to:(Some src)
-      | Tm_ack top -> gather_note t t.acks top src Yes
+      | Tm_commit top ->
+          if tracing t then
+            emit t
+              (Verdict_received
+                 { node = t.node_id; tid = top; outcome = Committed; src });
+          apply_decided_outcome t top Committed ~ack_to:(Some src)
+      | Tm_abort top ->
+          if tracing t then
+            emit t
+              (Verdict_received
+                 { node = t.node_id; tid = top; outcome = Aborted; src });
+          apply_decided_outcome t top Aborted ~ack_to:(Some src)
+      | Tm_ack top ->
+          if tracing t then
+            emit t (Ack_received { node = t.node_id; tid = top; src });
+          gather_note t t.acks top src Yes
       | Tm_status_query top -> handle_status_query t top ~src
       | Tm_status_reply (top, outcome) ->
-          if Hashtbl.mem t.participants top then
+          (* accept for a prepared participant (normal in-doubt
+             resolution) or for an undecided orphan participant still
+             holding effects of a remote transaction *)
+          let orphan =
+            (not (Hashtbl.mem t.outcomes top))
+            && top.Tid.node <> t.node_id
+            && Comm_mgr.involved_remotely t.cm top
+          in
+          if Hashtbl.mem t.participants top || orphan then begin
+            if tracing t then
+              emit t (Verdict_received { node = t.node_id; tid = top; outcome; src });
             apply_decided_outcome t top outcome ~ack_to:None
+          end
       | _ -> ());
   t

@@ -26,6 +26,58 @@ type outcome = Committed | Aborted
     nothing and can skip phase two. *)
 type vote = Yes | No | Read_only
 
+(** Trace events for transaction lifecycle and 2PC phase transitions.
+    [node] is the node observing the transition: the coordinator's
+    [Txn_begin]/[Txn_commit]/[Txn_abort] bracket the transaction, while
+    subordinates emit their own outcome events ([Txn_commit] /
+    [Txn_abort] with reason [Remote_verdict]) when applying the
+    coordinator's verdict. *)
+type Tabs_sim.Trace.event +=
+  | Txn_begin of { node : int; tid : Tabs_wal.Tid.t }
+  | Txn_commit of { node : int; tid : Tabs_wal.Tid.t; distributed : bool }
+  | Txn_abort of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      reason : Tabs_sim.Trace.abort_reason;
+    }
+  | Prepare_sent of { node : int; tid : Tabs_wal.Tid.t; dests : int list }
+  | Prepare_received of { node : int; tid : Tabs_wal.Tid.t; src : int }
+  | Vote_sent of { node : int; tid : Tabs_wal.Tid.t; dest : int; vote : vote }
+  | Vote_received of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      src : int;
+      vote : vote;
+    }
+  | Verdict_sent of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      outcome : outcome;
+      dests : int list;
+    }
+  | Verdict_received of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      outcome : outcome;
+      src : int;
+    }
+  | Ack_received of { node : int; tid : Tabs_wal.Tid.t; src : int }
+  | Prepared_in_doubt of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      coordinator : int;
+    }
+  | In_doubt_resolved of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      outcome : outcome;
+    }
+  | Status_query_sent of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      coordinator : int;
+    }
+
 (** The commit-protocol datagram vocabulary, exposed for tests and
     monitoring tools. *)
 type Tabs_net.Network.payload +=
@@ -113,8 +165,10 @@ val commit : t -> Tabs_wal.Tid.t -> outcome
 
 (** [abort t tid] forces the transaction or subtransaction to abort:
     undoes its subtree via the Recovery Manager, releases its locks, and
-    for distributed top-level transactions informs remote participants. *)
-val abort : t -> Tabs_wal.Tid.t -> unit
+    for distributed top-level transactions informs remote participants.
+    [reason] (default [Explicit]) classifies the abort in the trace
+    stream; it has no protocol effect. *)
+val abort : t -> ?reason:Tabs_sim.Trace.abort_reason -> Tabs_wal.Tid.t -> unit
 
 (** [is_aborted t tid] — supports the library's [TransactionIsAborted]
     exception: true once [tid] or an ancestor has aborted. *)

@@ -3,6 +3,20 @@ open Tabs_storage
 
 type lsn = Record.lsn
 
+type Trace.event +=
+  | Wal_append of { lsn : lsn; tid : Tid.t option; kind : string }
+  | Log_force of { upto : lsn; records : int; bytes : int; pages : int }
+
+let record_kind = function
+  | Record.Update_value _ -> "update_value"
+  | Record.Update_operation _ -> "update_operation"
+  | Record.Txn_begin _ -> "begin"
+  | Record.Txn_commit _ -> "commit"
+  | Record.Txn_abort _ -> "abort"
+  | Record.Txn_prepare _ -> "prepare"
+  | Record.Txn_end _ -> "end"
+  | Record.Checkpoint _ -> "checkpoint"
+
 type t = {
   engine : Engine.t;
   stable : Stable.t;
@@ -62,6 +76,9 @@ let push t record =
           Hashtbl.remove t.txn_first tid
       | Record.Txn_begin _ | Record.Txn_prepare _ | Record.Checkpoint _ -> ())
   | None -> ());
+  if Engine.tracing t.engine then
+    Engine.emit t.engine
+      (Wal_append { lsn; tid = Record.tid_of record; kind = record_kind record });
   lsn
 
 let append t record =
@@ -107,6 +124,9 @@ let force t ~upto =
       Engine.charge t.engine Cost_model.Large_contiguous_message;
       let pages = (bytes + Page.size - 1) / Page.size in
       t.forces <- t.forces + 1;
+      if Engine.tracing t.engine then
+        Engine.emit t.engine
+          (Log_force { upto; records = List.length in_order; bytes; pages });
       for _ = 1 to pages do
         Engine.charge t.engine Cost_model.Stable_storage_write
       done

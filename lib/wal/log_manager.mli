@@ -13,6 +13,13 @@ type t
 
 type lsn = Record.lsn
 
+(** Trace events: every buffered record ([kind] names the record
+    constructor, e.g. ["update_value"], ["commit"]) and every non-empty
+    log force with what it spooled. *)
+type Tabs_sim.Trace.event +=
+  | Wal_append of { lsn : lsn; tid : Tid.t option; kind : string }
+  | Log_force of { upto : lsn; records : int; bytes : int; pages : int }
+
 (** [attach engine stable] opens the log; survives restart by reading
     [stable]'s current extent. *)
 val attach : Tabs_sim.Engine.t -> Tabs_storage.Stable.t -> t

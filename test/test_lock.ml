@@ -308,6 +308,69 @@ let test_fifo_no_starvation () =
     [ "writer"; "late-reader" ]
     (List.rev !log)
 
+(* Regressions: cancelled waiters ------------------------------------- *)
+
+let test_timeout_release_same_instant () =
+  (* T2's wait expires at the same virtual instant T1 releases, and the
+     timeout event is scheduled first (earlier insertion). The release
+     must not re-grant the cancelled waiter: T2 has already returned
+     Timed_out and will never release, so a hold recorded for it would
+     leak forever. *)
+  let t2_outcome = ref Lock_manager.Granted in
+  let _, lm =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+          Engine.delay 10;
+          (* second hop lands exactly at T2's timeout instant, but is
+             inserted after the timeout timer, so it runs second *)
+          Engine.delay 95;
+          Lock_manager.release_all lm (tid 1));
+        (fun _ lm ->
+          Engine.delay 5;
+          t2_outcome :=
+            Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ~timeout:100 ());
+      ]
+  in
+  Alcotest.(check bool)
+    "t2 timed out" true
+    (!t2_outcome = Lock_manager.Timed_out);
+  Alcotest.(check int) "no leaked holds" 0 (Lock_manager.total_holds lm);
+  Alcotest.(check bool)
+    "object free afterwards" false
+    (Lock_manager.is_locked lm (obj 0));
+  Alcotest.(check int) "no stale waiters" 0 (Lock_manager.waiting lm)
+
+let test_try_lock_after_timeouts () =
+  (* Once every queued waiter has timed out and the holder releases, a
+     conditional request must succeed: expired waiters may not linger in
+     the queue and veto it. *)
+  let ok = ref false in
+  let _, lm =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+          Engine.delay 200;
+          Lock_manager.release_all lm (tid 1));
+        (fun _ lm ->
+          Engine.delay 5;
+          ignore
+            (Lock_manager.lock lm (tid 2) (obj 0) Mode.Write ~timeout:50 ()));
+        (fun _ lm ->
+          Engine.delay 10;
+          ignore
+            (Lock_manager.lock lm (tid 3) (obj 0) Mode.Write ~timeout:50 ()));
+        (fun _ lm ->
+          Engine.delay 300;
+          ok := Lock_manager.try_lock lm (tid 4) (obj 0) Mode.Write);
+      ]
+  in
+  Alcotest.(check bool) "conditional grant after stale waiters" true !ok;
+  Alcotest.(check int) "both waiters timed out" 2 (Lock_manager.timeouts lm);
+  Alcotest.(check int) "queue empty" 0 (Lock_manager.waiting lm)
+
 (* Deadlock detection (optional extension) ----------------------------- *)
 
 let test_detector_breaks_cycle () =
@@ -402,6 +465,8 @@ let suites =
         quick "reentrant/upgrade" test_reentrant_and_upgrade;
         quick "typed concurrency" test_typed_mode_concurrency;
         quick "fifo no starvation" test_fifo_no_starvation;
+        quick "same-instant timeout/release" test_timeout_release_same_instant;
+        quick "try_lock after timeouts" test_try_lock_after_timeouts;
       ] );
     ( "lock.deadlock_detector",
       [

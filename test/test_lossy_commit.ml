@@ -1,0 +1,126 @@
+(* Property test: distributed commits over a lossy datagram network.
+
+   Three nodes, every transaction writes on all three (so the read-only
+   vote optimization cannot apply and strict outcome convergence must
+   hold), with 5% or 20% of transmissions dropped. Whatever mix of
+   retransmission, time-out aborts, and in-doubt resolution results, the
+   cluster must converge: every node that records an outcome for a
+   transaction records the same outcome, the replicated cells agree,
+   no transaction is left in doubt, and no locks leak. *)
+
+open Tabs_wal
+open Tabs_net
+open Tabs_core
+open Tabs_servers
+open Tabs_obs
+
+let nodes = 3
+
+let txns = 5
+
+let server_name dest = Printf.sprintf "a%d" dest
+
+let run_case ~loss ~seed =
+  let c = Cluster.create ~nodes ~seed () in
+  let arrays =
+    List.map
+      (fun node ->
+        Int_array_server.create (Node.env node)
+          ~name:(server_name (Node.id node))
+          ~segment:1 ~cells:16 ())
+      (Cluster.nodes c)
+  in
+  let recorder = Recorder.attach (Cluster.engine c) in
+  Network.set_loss (Cluster.network c) loss;
+  let n0 = Cluster.node c 0 in
+  let tm = Node.tm n0 and rpc = Node.rpc n0 in
+  Cluster.spawn c ~node:0 (fun () ->
+      for i = 0 to txns - 1 do
+        try
+          Txn_lib.execute_transaction tm (fun tid ->
+              for dest = 0 to nodes - 1 do
+                Int_array_server.call_set rpc ~dest ~server:(server_name dest)
+                  tid i (100 + i)
+              done)
+        with
+        | Errors.Lock_timeout _ | Errors.Deadlock _
+        | Errors.Transaction_is_aborted _
+        | Rpc.Rpc_timeout _ ->
+            ()
+      done);
+  Cluster.run_until c ~time:600_000_000;
+  (* heal the network and drain retransmissions and the in-doubt
+     resolver to quiescence *)
+  Network.set_loss (Cluster.network c) 0.0;
+  Cluster.run c;
+  let entries = Recorder.entries recorder in
+  Recorder.detach recorder;
+  (* 1. trace-stream convergence: no transaction has a commit on one
+     node and an abort on another *)
+  let outcomes : (string, bool list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ({ event; _ } : Recorder.entry) ->
+      let note tid committed =
+        let key = Tid.to_string tid in
+        let prev = Option.value (Hashtbl.find_opt outcomes key) ~default:[] in
+        Hashtbl.replace outcomes key (committed :: prev)
+      in
+      match event with
+      | Tabs_tm.Txn_mgr.Txn_commit { tid; _ } -> note tid true
+      | Tabs_tm.Txn_mgr.Txn_abort { tid; _ } -> note tid false
+      | _ -> ())
+    entries;
+  let converged =
+    Hashtbl.fold
+      (fun _ recorded ok ->
+        ok && not (List.mem true recorded && List.mem false recorded))
+      outcomes true
+  in
+  (* 2. replica convergence: each written cell reads the same on every
+     node *)
+  let replicas_agree =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        List.for_all
+          (fun i ->
+            Txn_lib.execute_transaction tm (fun tid ->
+                let vs =
+                  List.init nodes (fun dest ->
+                      Int_array_server.call_get rpc ~dest
+                        ~server:(server_name dest) tid i)
+                in
+                match vs with
+                | v :: rest -> List.for_all (fun v' -> v' = v) rest
+                | [] -> true))
+          (List.init txns (fun i -> i)))
+  in
+  (* 3. nothing left behind: no in-doubt transactions, no held locks *)
+  let nothing_in_doubt =
+    List.for_all
+      (fun node -> Tabs_tm.Txn_mgr.in_doubt (Node.tm node) = [])
+      (Cluster.nodes c)
+  in
+  let spans_balanced = Span.balanced (Span.of_entries entries) in
+  let no_leaked_locks =
+    List.for_all
+      (fun arr ->
+        Tabs_lock.Lock_manager.total_holds
+          (Server_lib.lock_manager (Int_array_server.server arr))
+        = 0)
+      arrays
+  in
+  converged && replicas_agree && nothing_in_doubt && spans_balanced
+  && no_leaked_locks
+
+let prop_lossy_convergence =
+  QCheck.Test.make
+    ~name:"distributed commits converge under 5% and 20% datagram loss"
+    ~count:8
+    QCheck.(pair bool small_int)
+    (fun (heavy, seed) ->
+      run_case ~loss:(if heavy then 0.20 else 0.05) ~seed:(seed + 1))
+
+let suites =
+  [
+    ( "net.lossy_commit",
+      [ QCheck_alcotest.to_alcotest prop_lossy_convergence ] );
+  ]

@@ -55,7 +55,9 @@ let test_datagram_unreliable () =
   in
   let _ = Engine.run engine in
   Alcotest.(check int) "dropped silently" 0 !got;
-  Alcotest.(check bool) "drop counted" true (Network.dropped net > 0)
+  Alcotest.(check bool) "drop counted" true (Network.dropped net > 0);
+  Alcotest.(check int) "attributed to the loss roll" (Network.dropped net)
+    (Network.drops net).Network.loss
 
 let test_session_ordered () =
   let _engine, net, cms = setup () in
@@ -192,6 +194,109 @@ let test_partition () =
   let _ = Engine.run engine in
   Alcotest.(check int) "healed" 1 !got
 
+(* Drop-cause accounting --------------------------------------------------- *)
+
+let test_drop_causes () =
+  let engine, net, cms = setup () in
+  Comm_mgr.add_datagram_handler (cm cms 1) (fun ~src:_ _ -> ());
+  let send () =
+    let _ =
+      Engine.spawn engine ~node:0 (fun () ->
+          Comm_mgr.send_datagram (cm cms 0) ~dest:1 (Msg 1))
+    in
+    ignore (Engine.run engine)
+  in
+  Network.set_loss net 1.0;
+  send ();
+  Network.set_loss net 0.0;
+  Network.set_partitioned net 0 1 true;
+  send ();
+  Network.set_partitioned net 0 1 false;
+  Network.set_node_up net ~node:1 false;
+  send ();
+  Network.set_node_up net ~node:1 true;
+  (* a node that never registered accepts the transmission but has no
+     handler on the channel *)
+  Network.transmit net ~src:0 ~dest:7 ~channel:Network.Datagram ~delay:10
+    (Msg 1);
+  ignore (Engine.run engine);
+  let d = Network.drops net in
+  Alcotest.(check int) "loss roll" 1 d.Network.loss;
+  Alcotest.(check int) "partition" 1 d.Network.partition;
+  Alcotest.(check int) "down endpoint" 1 d.Network.down;
+  Alcotest.(check int) "no handler" 1 d.Network.no_handler;
+  Alcotest.(check int) "total is the sum of causes"
+    (d.Network.loss + d.Network.partition + d.Network.down
+   + d.Network.no_handler)
+    (Network.dropped net)
+
+(* Session retransmission backoff ------------------------------------------ *)
+
+let test_session_backoff_schedule () =
+  (* With the peer down, retransmissions back off exponentially:
+     base rto, 2x, 4x, ... and the stream is declared failed after
+     [session_retries] barren rounds. *)
+  let engine = Engine.create () in
+  let net = Network.create engine ~seed:1 in
+  let cm0 =
+    Comm_mgr.create net ~node:0 ~session_rto:100_000 ~session_retries:3 ()
+  in
+  let _cm1 = Comm_mgr.create net ~node:1 () in
+  let retransmits = ref [] and failed_at = ref None in
+  Engine.set_tracer engine
+    (Some
+       (fun ~time ev ->
+         match ev with
+         | Comm_mgr.Session_retransmit { attempt; rto; _ } ->
+             retransmits := (time, attempt, rto) :: !retransmits
+         | Comm_mgr.Session_failure { peer; _ } ->
+             failed_at := Some (time, peer)
+         | _ -> ()));
+  Network.set_node_up net ~node:1 false;
+  Comm_mgr.session_send cm0 ~dest:1 (Msg 1);
+  let _ = Engine.run engine in
+  Alcotest.(check (list (triple int int int)))
+    "doubling retransmission schedule"
+    [ (100_000, 1, 100_000); (300_000, 2, 200_000); (700_000, 3, 400_000) ]
+    (List.rev !retransmits);
+  Alcotest.(check (option (pair int int)))
+    "declared failed one capped rto after the last round"
+    (Some (1_500_000, 1))
+    !failed_at
+
+let test_session_backoff_reset_on_ack () =
+  (* Two barren rounds double the rto; once the (restarted) peer answers
+     and the stream makes progress, the backoff resets, so the next
+     barren round waits only the base rto again. *)
+  let engine = Engine.create () in
+  let net = Network.create engine ~seed:3 in
+  let cm0 = Comm_mgr.create net ~node:0 ~session_rto:100_000 () in
+  let _cm1 = Comm_mgr.create net ~node:1 () in
+  let rtos = ref [] in
+  Engine.set_tracer engine
+    (Some
+       (fun ~time:_ ev ->
+         match ev with
+         | Comm_mgr.Session_retransmit { rto; _ } -> rtos := rto :: !rtos
+         | _ -> ()));
+  Network.set_node_up net ~node:1 false;
+  Comm_mgr.session_send cm0 ~dest:1 (Msg 1);
+  (* rounds at 100k and 300k fire barren; rto is now 400k *)
+  Engine.run_until engine ~time:350_000;
+  Network.set_node_up net ~node:1 true;
+  let cm1' = Comm_mgr.create net ~node:1 () in
+  Comm_mgr.set_session_handler cm1' (fun ~src:_ _ -> ());
+  (* the 700k round reaches the fresh incarnation; the reset handshake
+     renumbers, delivers, and the progressing ack resets the backoff *)
+  let _ = Engine.run engine in
+  Network.set_node_up net ~node:1 false;
+  let t0 = Engine.now engine in
+  Comm_mgr.session_send cm0 ~dest:1 (Msg 2);
+  Engine.run_until engine ~time:(t0 + 150_000);
+  Alcotest.(check (list int)) "doubles, then resets to the base rto"
+    [ 100_000; 200_000; 400_000; 100_000 ]
+    (List.rev !rtos)
+
 (* Spanning tree ---------------------------------------------------------- *)
 
 let test_spanning_tree () =
@@ -247,6 +352,7 @@ let suites =
         quick "parallel costs" test_datagram_costs;
         quick "unreliable" test_datagram_unreliable;
         quick "partition" test_partition;
+        quick "drop causes" test_drop_causes;
       ] );
     ( "net.session",
       [
@@ -255,6 +361,8 @@ let suites =
         quick "failure detection" test_session_failure_detection;
         quick "incarnation reset" test_session_incarnation_reset;
         quick "reset renumbers unacked" test_session_reset_renumbers_unacked;
+        quick "backoff schedule" test_session_backoff_schedule;
+        quick "backoff resets on ack" test_session_backoff_reset_on_ack;
         QCheck_alcotest.to_alcotest prop_session_under_any_loss;
       ] );
     ("net.broadcast", [ quick "fan out" test_broadcast ]);

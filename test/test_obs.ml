@@ -1,0 +1,174 @@
+(* Tests for the observability library: the recorder sink, histogram
+   percentiles, span derivation from a synthetic event stream, JSONL
+   export shape, and the zero-cost-when-disabled invariant. *)
+
+open Tabs_sim
+open Tabs_wal
+open Tabs_obs
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let tid n = Tid.top ~node:0 ~seq:n
+
+(* Histograms ------------------------------------------------------------- *)
+
+let test_hist_percentiles () =
+  let h = Hist.of_list (List.init 100 (fun i -> i + 1)) in
+  Alcotest.(check int) "p50 of 1..100" 50 (Hist.p50 h);
+  Alcotest.(check int) "p95 of 1..100" 95 (Hist.p95 h);
+  Alcotest.(check int) "p99 of 1..100" 99 (Hist.p99 h);
+  Alcotest.(check int) "p100 is max" 100 (Hist.percentile h 100.);
+  Alcotest.(check int) "max" 100 (Hist.max_value h);
+  Alcotest.(check int) "count" 100 (Hist.count h)
+
+let test_hist_degenerate () =
+  let empty = Hist.create () in
+  Alcotest.(check int) "empty p99" 0 (Hist.p99 empty);
+  let single = Hist.of_list [ 7 ] in
+  Alcotest.(check int) "singleton p50" 7 (Hist.p50 single);
+  Alcotest.(check int) "singleton p99" 7 (Hist.p99 single);
+  let unsorted = Hist.of_list [ 30; 10; 20 ] in
+  Alcotest.(check int) "sorts before ranking" 20 (Hist.p50 unsorted)
+
+(* Spans ------------------------------------------------------------------- *)
+
+(* Drive a real engine and emit transaction events at controlled virtual
+   times; span derivation must reconstruct latency and outcome. *)
+let record_script script =
+  let e = Engine.create () in
+  let r = Recorder.attach e in
+  ignore
+    (Engine.spawn e (fun () ->
+         List.iter
+           (fun (at, ev) ->
+             let now = Engine.now e in
+             if at > now then Engine.delay (at - now);
+             Engine.emit e ev)
+           script));
+  let _ = Engine.run e in
+  let entries = Recorder.entries r in
+  Recorder.detach r;
+  entries
+
+let test_span_commit_and_abort () =
+  let open Tabs_tm in
+  let entries =
+    record_script
+      [
+        (0, Txn_mgr.Txn_begin { node = 0; tid = tid 1 });
+        (100, Txn_mgr.Txn_begin { node = 0; tid = tid 2 });
+        (1_000, Txn_mgr.Txn_commit { node = 0; tid = tid 1; distributed = false });
+        (* a subordinate echo of some other node's verdict must not
+           close node 0's span *)
+        (1_500, Txn_mgr.Txn_commit { node = 1; tid = tid 2; distributed = true });
+        ( 2_100,
+          Txn_mgr.Txn_abort
+            { node = 0; tid = tid 2; reason = Trace.Lock_timeout } );
+      ]
+  in
+  let spans = Span.of_entries entries in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  Alcotest.(check bool) "balanced" true (Span.balanced spans);
+  Alcotest.(check (list int)) "commit latency" [ 1_000 ]
+    (Span.commit_latencies spans);
+  (match Span.abort_breakdown spans with
+  | [ (Trace.Lock_timeout, 1) ] -> ()
+  | _ -> Alcotest.fail "expected one lock_timeout abort");
+  let s2 = List.find (fun (s : Span.t) -> Tid.equal s.tid (tid 2)) spans in
+  Alcotest.(check (option int)) "aborted span duration" (Some 2_000)
+    (Span.duration s2)
+
+let test_span_unresolved () =
+  let open Tabs_tm in
+  let entries =
+    record_script [ (0, Txn_mgr.Txn_begin { node = 0; tid = tid 1 }) ]
+  in
+  let spans = Span.of_entries entries in
+  Alcotest.(check int) "one span" 1 (List.length spans);
+  Alcotest.(check bool) "unbalanced" false (Span.balanced spans)
+
+let test_span_folds_lock_waits () =
+  let open Tabs_tm in
+  let open Tabs_lock in
+  let o = Object_id.make ~segment:1 ~offset:0 ~length:8 in
+  (* the lock wait happens under a child subtransaction; it must fold
+     into the top-level span *)
+  let sub = Tid.child (tid 1) ~index:0 in
+  let entries =
+    record_script
+      [
+        (0, Txn_mgr.Txn_begin { node = 0; tid = tid 1 });
+        (10, Lock_manager.Lock_wait { tid = sub; obj = o; mode = Mode.Write });
+        ( 250,
+          Lock_manager.Lock_granted
+            { tid = sub; obj = o; mode = Mode.Write; waited = 240 } );
+        (900, Txn_mgr.Txn_commit { node = 0; tid = tid 1; distributed = false });
+      ]
+  in
+  match Span.of_entries entries with
+  | [ s ] ->
+      Alcotest.(check int) "lock wait folded" 240 s.Span.lock_wait;
+      Alcotest.(check int) "one granted wait" 1 s.Span.lock_waits;
+      Alcotest.(check int) "no timeouts" 0 s.Span.lock_timeouts
+  | _ -> Alcotest.fail "expected a single span"
+
+(* JSONL ------------------------------------------------------------------- *)
+
+let test_jsonl_shape () =
+  let open Tabs_tm in
+  let entries =
+    record_script
+      [
+        (42, Txn_mgr.Txn_begin { node = 0; tid = tid 1 });
+        (50, Trace.Note "quoted \"text\"\nsecond line");
+      ]
+  in
+  match List.map Jsonl.entry_to_json entries with
+  | [ l1; l2 ] ->
+      Alcotest.(check string)
+        "begin line" {|{"t":42,"type":"txn_begin","node":0,"tid":"T0.1"}|} l1;
+      Alcotest.(check string)
+        "escaped note"
+        {|{"t":50,"type":"note","text":"quoted \"text\"\nsecond line"}|} l2
+  | _ -> Alcotest.fail "expected two lines"
+
+let test_jsonl_unknown_event () =
+  let module M = struct
+    type Trace.event += Private_event
+  end in
+  let info = Event_info.inspect M.Private_event in
+  Alcotest.(check string) "unknown fallback" "unknown" info.Event_info.name
+
+(* Zero cost when disabled ------------------------------------------------- *)
+
+let test_recorder_detach_stops_recording () =
+  let e = Engine.create () in
+  let r = Recorder.attach e in
+  Alcotest.(check bool) "tracing on" true (Engine.tracing e);
+  Engine.emit e (Trace.Note "one");
+  Recorder.detach r;
+  Alcotest.(check bool) "tracing off" false (Engine.tracing e);
+  Engine.emit e (Trace.Note "two");
+  Alcotest.(check int) "only the first was kept" 1 (Recorder.length r)
+
+let suites =
+  [
+    ( "obs.hist",
+      [
+        quick "percentiles" test_hist_percentiles;
+        quick "degenerate" test_hist_degenerate;
+      ] );
+    ( "obs.span",
+      [
+        quick "commit and abort" test_span_commit_and_abort;
+        quick "unresolved" test_span_unresolved;
+        quick "folds lock waits" test_span_folds_lock_waits;
+      ] );
+    ( "obs.jsonl",
+      [
+        quick "shape and escaping" test_jsonl_shape;
+        quick "unknown event" test_jsonl_unknown_event;
+      ] );
+    ( "obs.recorder",
+      [ quick "detach stops recording" test_recorder_detach_stops_recording ] );
+  ]
