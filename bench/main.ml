@@ -60,6 +60,8 @@ let ablation () = Tabs_bench.Ablation.print_all ()
 
 let throughput () = Tabs_bench.Throughput.print_all ()
 
+let group_commit () = Tabs_bench.Throughput.print_group_commit ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -124,6 +126,7 @@ let sections =
     ("composite", composite);
     ("ablation", ablation);
     ("throughput", throughput);
+    ("group-commit", group_commit);
     ("shapes", shapes);
   ]
 

@@ -5,11 +5,13 @@ type t
 
 (** [create ~nodes ()] builds [nodes] nodes (ids 0..nodes-1) on a
     lossless network. [?profile] applies the same architecture profile
-    (see {!Node.create}) to every node. *)
+    and [?group_commit] the same force-batching configuration (see
+    {!Node.create}) to every node. *)
 val create :
   ?cost_model:Tabs_sim.Cost_model.t ->
   ?seed:int ->
   ?profile:Tabs_sim.Profile.t ->
+  ?group_commit:Tabs_recovery.Group_commit.config ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

@@ -22,6 +22,7 @@ type t = {
   net : Network.t;
   node_id : int;
   profile : Profile.t;
+  group_commit : Group_commit.config option;
   frames : int;
   log_space_limit : int;
   read_only_optimization : bool;
@@ -31,12 +32,13 @@ type t = {
   mutable up : bool;
 }
 
-let build_incarnation engine net disk stable ~id ~profile ~frames
-    ~log_space_limit ~read_only_optimization =
+let build_incarnation engine net disk stable ~id ~profile ~group_commit
+    ~frames ~log_space_limit ~read_only_optimization =
   let vm = Vm.attach engine disk ~frames ~profile () in
   let log = Log_manager.attach engine stable in
   let rm =
-    Recovery_mgr.create engine ~node:id ~log ~vm ~profile ~log_space_limit ()
+    Recovery_mgr.create engine ~node:id ~log ~vm ~profile ?group_commit
+      ~log_space_limit ()
   in
   let cm = Comm_mgr.create net ~node:id () in
   let tm =
@@ -46,16 +48,17 @@ let build_incarnation engine net disk stable ~id ~profile ~frames
   let rpc = Rpc.create_registry engine ~node:id ~cm in
   { vm; log; rm; cm; tm; ns; rpc }
 
-let create engine net ~id ?(profile = Profile.Classic) ?(frames = 1500)
-    ?(log_space_limit = 256 * 1024) ?(read_only_optimization = true) () =
+let create engine net ~id ?(profile = Profile.Classic) ?group_commit
+    ?(frames = 1500) ?(log_space_limit = 256 * 1024)
+    ?(read_only_optimization = true) () =
   let disk = Disk.create engine in
   let stable = Stable.create () in
   let live =
-    build_incarnation engine net disk stable ~id ~profile ~frames
-      ~log_space_limit ~read_only_optimization
+    build_incarnation engine net disk stable ~id ~profile ~group_commit
+      ~frames ~log_space_limit ~read_only_optimization
   in
-  { engine; net; node_id = id; profile; frames; log_space_limit;
-    read_only_optimization; disk; stable; live; up = true }
+  { engine; net; node_id = id; profile; group_commit; frames;
+    log_space_limit; read_only_optimization; disk; stable; live; up = true }
 
 let id t = t.node_id
 
@@ -105,7 +108,7 @@ let restart t ~reinstall ?(after_recovery = fun _ -> ()) () =
   Network.set_node_up t.net ~node:t.node_id true;
   t.live <-
     build_incarnation t.engine t.net t.disk t.stable ~id:t.node_id
-      ~profile:t.profile ~frames:t.frames
+      ~profile:t.profile ~group_commit:t.group_commit ~frames:t.frames
       ~log_space_limit:t.log_space_limit
       ~read_only_optimization:t.read_only_optimization;
   t.up <- true;

@@ -18,12 +18,20 @@ type t
     charged) and the second phase of distributed commits overlaps with
     succeeding transactions. Log records, lock behavior, and commit
     outcomes are identical in both profiles. The profile survives
-    {!crash}/{!restart}. *)
+    {!crash}/{!restart}.
+
+    [?group_commit] enables the {!Tabs_recovery.Group_commit} force
+    batcher: commit-protocol log forces arriving within the window (or
+    up to the batch cap) share one stable-storage round. Off by
+    default — the Section 5 latency tables and the Classic/Integrated
+    equivalence are byte-identical to a build without the batcher. The
+    setting survives {!crash}/{!restart}. *)
 val create :
   Tabs_sim.Engine.t ->
   Tabs_net.Network.t ->
   id:int ->
   ?profile:Tabs_sim.Profile.t ->
+  ?group_commit:Tabs_recovery.Group_commit.config ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

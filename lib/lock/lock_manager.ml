@@ -28,9 +28,15 @@ type waiter = {
   mutable w_cancelled : bool;
 }
 
+(* Waiters queue FIFO. A timed-out waiter is only marked cancelled —
+   O(1) — and its carcass is dropped when it reaches the front of the
+   queue, instead of filtering the whole queue on every cancellation or
+   release. [live] counts the non-cancelled waiters so the conditional
+   path and statistics never need a scan either. *)
 type entry = {
   mutable holds : (Tid.t * Mode.t list) list;
-  mutable waiters : waiter list; (* FIFO *)
+  waiters : waiter Queue.t;
+  mutable live : int;
 }
 
 module Key = struct
@@ -69,7 +75,7 @@ let entry t key =
   match Table.find_opt t.table key with
   | Some e -> e
   | None ->
-      let e = { holds = []; waiters = [] } in
+      let e = { holds = []; waiters = Queue.create (); live = 0 } in
       Table.add t.table key e;
       e
 
@@ -96,23 +102,27 @@ let add_hold entry tid mode =
   entry.holds <- go entry.holds
 
 (* Grant waiters from the front of the FIFO while admissible; stop at the
-   first blocked waiter to avoid starvation. *)
+   first live blocked waiter to avoid starvation. Cancelled carcasses
+   reaching the front are discarded here — their [live] decrement already
+   happened when they cancelled. *)
 let grant_waiters t entry =
   let rec go () =
-    match entry.waiters with
-    | [] -> ()
-    | w :: rest when w.w_cancelled ->
-        entry.waiters <- rest;
+    match Queue.peek_opt entry.waiters with
+    | None -> ()
+    | Some w when w.w_cancelled ->
+        ignore (Queue.pop entry.waiters);
         go ()
-    | w :: rest ->
+    | Some w ->
         if admissible t entry w.w_tid w.w_mode then begin
-          entry.waiters <- rest;
+          ignore (Queue.pop entry.waiters);
           (* A waiter whose timeout fired at this same instant has already
              been woken with None and will report [Timed_out]; [signal]
              skips it and returns false. Granting it anyway would leave a
              hold the requester never learns about, so the hold is added
-             only when the wake actually lands. *)
+             only when the wake actually lands. (The skipped waiter's
+             [live] decrement happens in its own timeout branch.) *)
           if Engine.Waitq.signal w.w_queue ~engine:t.engine Granted then begin
+            entry.live <- entry.live - 1;
             add_hold entry w.w_tid w.w_mode;
             if Engine.tracing t.engine then
               Engine.emit t.engine
@@ -129,17 +139,11 @@ let grant_waiters t entry =
   in
   go ()
 
-let purge_cancelled entry =
-  if List.exists (fun w -> w.w_cancelled) entry.waiters then
-    entry.waiters <- List.filter (fun w -> not w.w_cancelled) entry.waiters
-
 let try_lock t tid key mode =
   let e = entry t key in
-  (* Timed-out waiters are cancelled in place; drop them before the FIFO
-     check so ghosts cannot refuse a conditional request. *)
-  purge_cancelled e;
-  (* Strict FIFO: a conditional request also defers to queued waiters. *)
-  if e.waiters = [] && admissible t e tid mode then begin
+  (* Strict FIFO: a conditional request defers to queued live waiters;
+     cancelled ghosts (live excluded) cannot refuse it. *)
+  if e.live = 0 && admissible t e tid mode then begin
     add_hold e tid mode;
     true
   end
@@ -169,7 +173,7 @@ let would_deadlock t tid key mode =
   let add_edge a b = Hashtbl.add edges a b in
   Table.iter
     (fun _ e ->
-      List.iter
+      Queue.iter
         (fun w ->
           if not w.w_cancelled then
             List.iter (add_edge w.w_tid) (roots_of_holders e w.w_tid w.w_mode))
@@ -210,7 +214,8 @@ let lock t tid key mode ?timeout () =
         w_cancelled = false;
       }
     in
-    e.waiters <- e.waiters @ [ w ];
+    Queue.push w e.waiters;
+    e.live <- e.live + 1;
     if Engine.tracing t.engine then
       Engine.emit t.engine (Lock_wait { tid; obj = key; mode });
     let timeout =
@@ -219,10 +224,10 @@ let lock t tid key mode ?timeout () =
     match Engine.Waitq.wait_timeout w.w_queue ~engine:t.engine ~timeout with
     | Some outcome -> outcome
     | None ->
+        (* Cancel in place; the carcass is dropped when it reaches the
+           queue front. *)
         w.w_cancelled <- true;
-        (* Remove the ghost immediately rather than leaving it for the
-           next [grant_waiters] sweep. *)
-        e.waiters <- List.filter (fun w' -> w' != w) e.waiters;
+        e.live <- e.live - 1;
         t.timeout_count <- t.timeout_count + 1;
         if Engine.tracing t.engine then
           Engine.emit t.engine
@@ -284,11 +289,7 @@ let transfer_to_parent t tid =
 let total_holds t =
   Table.fold (fun _ e acc -> acc + List.length e.holds) t.table 0
 
-let waiting t =
-  Table.fold
-    (fun _ e acc ->
-      acc + List.length (List.filter (fun w -> not w.w_cancelled) e.waiters))
-    t.table 0
+let waiting t = Table.fold (fun _ e acc -> acc + e.live) t.table 0
 
 let timeouts t = t.timeout_count
 

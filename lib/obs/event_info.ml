@@ -110,6 +110,17 @@ let inspect (ev : Trace.event) =
         fields = [ ("node", Int e.node); ("peer", Int e.peer) ];
       }
   (* recovery manager *)
+  | Group_commit.Group_commit e ->
+      {
+        name = "group_commit";
+        fields =
+          [
+            ("node", Int e.node);
+            ("batch", Int e.batch);
+            ("upto", Int e.upto);
+            ("woken", Int e.woken);
+          ];
+      }
   | Recovery_mgr.Rm_checkpoint e ->
       {
         name = "checkpoint";

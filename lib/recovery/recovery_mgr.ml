@@ -30,6 +30,7 @@ type t = {
   profile : Profile.t;
   log : Log_manager.t;
   vm : Vm.t;
+  group_commit : Group_commit.t option;
   log_space_limit : int;
   op_handlers : (string, op_handler) Hashtbl.t;
   page_last_lsn : (Disk.page_id, int) Hashtbl.t;
@@ -83,7 +84,7 @@ let wal_hooks t =
   }
 
 let create engine ~node ~log ~vm ?(profile = Profile.Classic)
-    ?(log_space_limit = 256 * 1024) () =
+    ?group_commit ?(log_space_limit = 256 * 1024) () =
   let t =
     {
       engine;
@@ -91,6 +92,10 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       profile;
       log;
       vm;
+      group_commit =
+        Option.map
+          (fun config -> Group_commit.create engine ~node ~log config)
+          group_commit;
       log_space_limit;
       op_handlers = Hashtbl.create 8;
       page_last_lsn = Hashtbl.create 256;
@@ -160,7 +165,16 @@ let append_tm_record t record =
   | _ -> ());
   Log_manager.append t.log record
 
-let force_through t lsn = Log_manager.force t.log ~upto:lsn
+(* The commit-protocol force (local commit records, 2PC commit and
+   prepare records). With group commit enabled the caller joins the
+   node's force batch instead of paying its own stable-storage round;
+   either way, on return the log is stable through [lsn]. *)
+let force_through t lsn =
+  match t.group_commit with
+  | None -> Log_manager.force t.log ~upto:lsn
+  | Some gc -> Group_commit.force_through gc ~upto:lsn
+
+let group_commit t = t.group_commit
 
 (* Undo/redo application ---------------------------------------------- *)
 

@@ -56,18 +56,23 @@ type recovery_outcome = {
   records_scanned : int;
 }
 
-(** [create engine ~node ~log ~vm ?profile ?log_space_limit ()] — under
-    {!Tabs_sim.Profile.Integrated} the Recovery Manager is co-located
-    with the Transaction Manager and the kernel (Section 5.3), so the
-    TM's log-record traffic to it costs no message primitives (the hops
-    are counted as elided); under [Classic] (the default) each hop is an
-    Accent small message, as the paper measured. *)
+(** [create engine ~node ~log ~vm ?profile ?group_commit
+    ?log_space_limit ()] — under {!Tabs_sim.Profile.Integrated} the
+    Recovery Manager is co-located with the Transaction Manager and the
+    kernel (Section 5.3), so the TM's log-record traffic to it costs no
+    message primitives (the hops are counted as elided); under [Classic]
+    (the default) each hop is an Accent small message, as the paper
+    measured. [?group_commit] starts a {!Group_commit} force batcher
+    through which {!force_through} coalesces concurrent commit-protocol
+    forces; omitted (the default), every force pays its own
+    stable-storage round, exactly as the paper measured. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
   log:Tabs_wal.Log_manager.t ->
   vm:Tabs_accent.Vm.t ->
   ?profile:Tabs_sim.Profile.t ->
+  ?group_commit:Group_commit.config ->
   ?log_space_limit:int ->
   unit ->
   t
@@ -119,8 +124,13 @@ val log_operation :
 val append_tm_record : t -> Tabs_wal.Record.t -> Tabs_wal.Record.lsn
 
 (** [force_through t lsn] makes the log stable through [lsn] — the
-    commit-protocol force. *)
+    commit-protocol force. With group commit enabled the calling fiber
+    joins the node's current force batch and may sleep up to the batch
+    window; without it the force is issued immediately. *)
 val force_through : t -> Tabs_wal.Record.lsn -> unit
+
+(** The force batcher, when one was configured. *)
+val group_commit : t -> Group_commit.t option
 
 (** {2 Abort}
 

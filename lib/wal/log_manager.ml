@@ -17,26 +17,69 @@ let record_kind = function
   | Record.Txn_end _ -> "end"
   | Record.Checkpoint _ -> "checkpoint"
 
+(* The volatile buffer holds exactly the contiguous LSN range
+   [buf_first, buf_first + buf_len) — everything appended but not yet
+   forced — as a circular array indexed by LSN offset, so append, read,
+   and the force's suffix split are O(1)/O(batch) instead of the list
+   scans a [(lsn * Record.t) list] needs. *)
 type t = {
   engine : Engine.t;
   stable : Stable.t;
-  mutable pending : (lsn * Record.t) list; (* newest first *)
+  mutable buf : Record.t array; (* circular; slot (buf_head + i) mod cap
+                                   holds the record at buf_first + i *)
+  mutable buf_head : int;
+  mutable buf_len : int;
+  mutable buf_first : lsn;
   mutable next : lsn;
   txn_last : (Tid.t, lsn) Hashtbl.t;
   txn_first : (Tid.t, lsn) Hashtbl.t;
   mutable forces : int;
+  mutable device_free_at : int; (* the stable-storage device is a single
+                                   channel: a force whose writes would
+                                   overlap an earlier force's queues
+                                   behind it in virtual time *)
 }
+
+let dummy_record = Record.Checkpoint { dirty_pages = []; active_txns = [] }
 
 let attach engine stable =
   {
     engine;
     stable;
-    pending = [];
+    buf = Array.make 64 dummy_record;
+    buf_head = 0;
+    buf_len = 0;
+    buf_first = Stable.next stable;
     next = Stable.next stable;
     txn_last = Hashtbl.create 32;
     txn_first = Hashtbl.create 32;
     forces = 0;
+    device_free_at = 0;
   }
+
+let buf_get t i = t.buf.((t.buf_head + i) mod Array.length t.buf)
+
+let buf_push t record =
+  let cap = Array.length t.buf in
+  if t.buf_len = cap then begin
+    let bigger = Array.make (2 * cap) dummy_record in
+    for i = 0 to t.buf_len - 1 do
+      bigger.(i) <- buf_get t i
+    done;
+    t.buf <- bigger;
+    t.buf_head <- 0
+  end;
+  t.buf.((t.buf_head + t.buf_len) mod Array.length t.buf) <- record;
+  t.buf_len <- t.buf_len + 1
+
+(* Drop the oldest buffered record, returning it. *)
+let buf_shift t =
+  let record = t.buf.(t.buf_head) in
+  t.buf.(t.buf_head) <- dummy_record;
+  t.buf_head <- (t.buf_head + 1) mod Array.length t.buf;
+  t.buf_len <- t.buf_len - 1;
+  t.buf_first <- t.buf_first + 1;
+  record
 
 let stable t = t.stable
 
@@ -63,7 +106,7 @@ let flushed_lsn t = Stable.next t.stable
 let push t record =
   let lsn = t.next in
   t.next <- lsn + 1;
-  t.pending <- (lsn, record) :: t.pending;
+  buf_push t record;
   (match Record.tid_of record with
   | Some tid -> (
       match record with
@@ -104,29 +147,39 @@ let append_operation t ~tid ~server ~operation ~undo_arg ~redo_arg ~pages =
 let force t ~upto =
   if upto >= flushed_lsn t then begin
     (* Flush every buffered record with LSN <= upto, oldest first.
-       Records are appended in LSN order, so this is a suffix split. *)
-    let to_flush, keep =
-      List.partition (fun (lsn, _) -> lsn <= upto) t.pending
-    in
-    t.pending <- keep;
-    let in_order = List.rev to_flush in
-    let bytes =
-      List.fold_left
-        (fun acc (lsn, record) ->
-          let encoded = Record.encode record in
-          let pos = Stable.append t.stable encoded in
-          assert (pos = lsn);
-          acc + String.length encoded)
-        0 in_order
-    in
-    if bytes > 0 then begin
+       Records sit in the buffer in LSN order, so this is a prefix of
+       the circular buffer — O(batch), no scan of what stays behind. *)
+    let count = min t.buf_len (upto - t.buf_first + 1) in
+    let records = ref 0 in
+    let bytes = ref 0 in
+    for _ = 1 to count do
+      let lsn = t.buf_first in
+      let encoded = Record.encode (buf_shift t) in
+      let pos = Stable.append t.stable encoded in
+      assert (pos = lsn);
+      incr records;
+      bytes := !bytes + String.length encoded
+    done;
+    if !bytes > 0 then begin
       (* the buffered records travel to the log device in one message *)
       Engine.charge t.engine Cost_model.Large_contiguous_message;
-      let pages = (bytes + Page.size - 1) / Page.size in
+      let pages = (!bytes + Page.size - 1) / Page.size in
       t.forces <- t.forces + 1;
       if Engine.tracing t.engine then
         Engine.emit t.engine
-          (Log_force { upto; records = List.length in_order; bytes; pages });
+          (Log_force { upto; records = !records; bytes = !bytes; pages });
+      (* One device, one head: reserve the write slot before suspending
+         so concurrent forces queue in arrival order, then pay the
+         per-page writes. A lone forcer never waits — the single-fiber
+         Section 5 measurements are unaffected. *)
+      let write_cost =
+        Cost_model.cost (Engine.cost_model t.engine)
+          Cost_model.Stable_storage_write
+      in
+      let now = Engine.now t.engine in
+      let start = max now t.device_free_at in
+      t.device_free_at <- start + (pages * write_cost);
+      if start > now then Engine.delay (start - now);
       for _ = 1 to pages do
         Engine.charge t.engine Cost_model.Stable_storage_write
       done
@@ -136,9 +189,9 @@ let force t ~upto =
 let force_all t = force t ~upto:(t.next - 1)
 
 let read t lsn =
-  match List.assoc_opt lsn t.pending with
-  | Some record -> record
-  | None -> Record.decode (Stable.read t.stable lsn)
+  if lsn >= t.buf_first && lsn < t.buf_first + t.buf_len then
+    buf_get t (lsn - t.buf_first)
+  else Record.decode (Stable.read t.stable lsn)
 
 let iter_backward t ~from ~f =
   let lowest = Stable.first t.stable in

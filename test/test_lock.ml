@@ -342,6 +342,44 @@ let test_timeout_release_same_instant () =
     (Lock_manager.is_locked lm (obj 0));
   Alcotest.(check int) "no stale waiters" 0 (Lock_manager.waiting lm)
 
+let test_fifo_order_survives_mid_queue_timeout () =
+  (* The lazy cancelled-waiter purge must not disturb FIFO grant order:
+     writers T2, T3, T4, T5 queue behind T1's write hold; T3 times out
+     mid-queue (its carcass stays queued until it reaches the front).
+     When T1 releases, grants must flow T2 -> T4 -> T5 — the cancelled
+     waiter skipped, everyone else in arrival order. *)
+  let order = ref [] in
+  let queued_writer ?timeout delay_ id hold =
+    fun _ lm ->
+      Engine.delay delay_;
+      match Lock_manager.lock lm (tid id) (obj 0) Mode.Write ?timeout () with
+      | Lock_manager.Granted ->
+          order := id :: !order;
+          Engine.delay hold;
+          Lock_manager.release_all lm (tid id)
+      | Lock_manager.Timed_out | Lock_manager.Deadlocked ->
+          order := -id :: !order
+  in
+  let _, lm =
+    run_fibers
+      [
+        (fun _ lm ->
+          ignore (Lock_manager.lock lm (tid 1) (obj 0) Mode.Write ());
+          Engine.delay 5_000;
+          Lock_manager.release_all lm (tid 1));
+        queued_writer 10 2 0;
+        queued_writer ~timeout:1_000 20 3 0;
+        queued_writer 30 4 0;
+        queued_writer 40 5 0;
+      ]
+  in
+  Alcotest.(check (list int))
+    "FIFO preserved around the cancelled waiter"
+    [ -3; 2; 4; 5 ]
+    (List.rev !order);
+  Alcotest.(check int) "no stale waiters counted" 0 (Lock_manager.waiting lm);
+  Alcotest.(check int) "one timeout" 1 (Lock_manager.timeouts lm)
+
 let test_try_lock_after_timeouts () =
   (* Once every queued waiter has timed out and the holder releases, a
      conditional request must succeed: expired waiters may not linger in
@@ -466,6 +504,7 @@ let suites =
         quick "typed concurrency" test_typed_mode_concurrency;
         quick "fifo no starvation" test_fifo_no_starvation;
         quick "same-instant timeout/release" test_timeout_release_same_instant;
+        quick "fifo around cancelled waiter" test_fifo_order_survives_mid_queue_timeout;
         quick "try_lock after timeouts" test_try_lock_after_timeouts;
       ] );
     ( "lock.deadlock_detector",
