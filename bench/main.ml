@@ -62,6 +62,8 @@ let throughput () = Tabs_bench.Throughput.print_all ()
 
 let group_commit () = Tabs_bench.Throughput.print_group_commit ()
 
+let recovery () = Tabs_bench.Recovery.print_recovery ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -127,6 +129,7 @@ let sections =
     ("ablation", ablation);
     ("throughput", throughput);
     ("group-commit", group_commit);
+    ("recovery", recovery);
     ("shapes", shapes);
   ]
 

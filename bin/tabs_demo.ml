@@ -53,6 +53,26 @@ let group_commit_arg =
     const (fun on -> if on then Some Tabs_recovery.Group_commit.default else None)
     $ flag)
 
+(* ... and --checkpoint-interval: the background fuzzy-checkpoint and
+   log-reclamation daemon (off by default, as the paper measured). *)
+let checkpointing_arg =
+  let interval =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-interval" ] ~docv:"USEC"
+          ~doc:
+            "Enable background fuzzy checkpoints on every node, at most \
+             one per $(docv) of virtual time: dirty pages trickle out, \
+             checkpoint records anchor restart recovery, and the log is \
+             reclaimed without foreground flushes.")
+  in
+  Term.(
+    const
+      (Option.map (fun interval ->
+           { Tabs_recovery.Checkpointer.default with interval }))
+    $ interval)
+
 (* Every subcommand also accepts --trace (human-readable event dump +
    span summary on stdout) and --trace-jsonl FILE (JSON Lines export). *)
 type trace_opts = { dump : bool; jsonl : string option }
@@ -101,8 +121,8 @@ let finish_trace topts = function
 
 (* crash ------------------------------------------------------------------ *)
 
-let run_crash profile group_commit topts =
-  let c = Cluster.create ~nodes:1 ~profile ?group_commit () in
+let run_crash profile group_commit checkpointing topts =
+  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing () in
   let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
@@ -141,9 +161,9 @@ let run_crash profile group_commit topts =
 
 (* twophase ---------------------------------------------------------------- *)
 
-let run_twophase profile group_commit topts nodes kill_coordinator =
+let run_twophase profile group_commit checkpointing topts nodes kill_coordinator =
   let nodes = max 2 (min 5 nodes) in
-  let c = Cluster.create ~nodes ~profile ?group_commit () in
+  let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing () in
   let tr = start_trace topts c in
   List.iter
     (fun node ->
@@ -220,8 +240,8 @@ let run_twophase profile group_commit topts nodes kill_coordinator =
 
 (* voting -------------------------------------------------------------------- *)
 
-let run_voting profile group_commit topts =
-  let c = Cluster.create ~nodes:3 ~profile ?group_commit () in
+let run_voting profile group_commit checkpointing topts =
+  let c = Cluster.create ~nodes:3 ~profile ?group_commit ?checkpointing () in
   let tr = start_trace topts c in
   List.iter
     (fun node ->
@@ -264,8 +284,8 @@ let run_voting profile group_commit topts =
 
 (* screen -------------------------------------------------------------------- *)
 
-let run_screen profile group_commit topts =
-  let c = Cluster.create ~nodes:1 ~profile ?group_commit () in
+let run_screen profile group_commit checkpointing topts =
+  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing () in
   let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
@@ -289,7 +309,7 @@ let run_screen profile group_commit topts =
 
 (* stats --------------------------------------------------------------------- *)
 
-let run_stats profile group_commit topts index =
+let run_stats profile group_commit checkpointing topts index =
   let specs = Workload_specs.specs in
   if index < 0 || index >= List.length specs then begin
     say "benchmark index out of range (0..%d):" (List.length specs - 1);
@@ -299,7 +319,7 @@ let run_stats profile group_commit topts index =
   else begin
     let name, nodes, body = List.nth specs index in
     say "running benchmark: %s (%d node(s))" name nodes;
-    let c = Cluster.create ~nodes ~profile ?group_commit () in
+    let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing () in
     let tr = start_trace topts c in
     List.iter
       (fun node ->
@@ -348,7 +368,7 @@ let run_stats profile group_commit topts index =
 
 let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
-    Term.(const run_crash $ profile_arg $ group_commit_arg $ trace_arg)
+    Term.(const run_crash $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
 
 let twophase_cmd =
   let nodes =
@@ -364,17 +384,17 @@ let twophase_cmd =
   in
   Cmd.v
     (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
-    Term.(const run_twophase $ profile_arg $ group_commit_arg $ trace_arg $ nodes $ kill)
+    Term.(const run_twophase $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg $ nodes $ kill)
 
 let voting_cmd =
   Cmd.v
     (Cmd.info "voting" ~doc:"Replicated directory with weighted voting")
-    Term.(const run_voting $ profile_arg $ group_commit_arg $ trace_arg)
+    Term.(const run_voting $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
 
 let screen_cmd =
   Cmd.v
     (Cmd.info "screen" ~doc:"Transactional display output (I/O server)")
-    Term.(const run_screen $ profile_arg $ group_commit_arg $ trace_arg)
+    Term.(const run_screen $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
 
 let stats_cmd =
   let index =
@@ -382,7 +402,7 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Primitive-operation profile of one benchmark")
-    Term.(const run_stats $ profile_arg $ group_commit_arg $ trace_arg $ index)
+    Term.(const run_stats $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg $ index)
 
 let () =
   let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in

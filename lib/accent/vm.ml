@@ -233,13 +233,23 @@ let unpin t obj =
 
 let unpin_all t = Hashtbl.iter (fun _ frame -> frame.pins <- 0) t.table
 
+(* The recovery LSN keeps the *minimum* of everything noted while the
+   frame is dirty. The minimum matters because abort processing undoes
+   in place without logging compensation records: the undo of record
+   [lsn] re-notes [lsn] itself, and if the page leaked to disk mid-way
+   a checkpoint-anchored recovery must scan from the original record,
+   not from where the log happened to be at undo time. *)
+let lower_rec_lsn frame lsn =
+  frame.rec_lsn <-
+    Some (match frame.rec_lsn with None -> lsn | Some r -> min r lsn)
+
 let note_update t obj ~lsn =
   List.iter
     (fun pid ->
       match Hashtbl.find_opt t.table pid with
       | None -> invalid_arg "Vm.note_update: page not resident"
       | Some frame ->
-          if frame.rec_lsn = None then frame.rec_lsn <- Some lsn;
+          lower_rec_lsn frame lsn;
           frame.last_lsn <- max frame.last_lsn lsn)
     (object_pages obj)
 
@@ -249,9 +259,14 @@ let note_pages t pages ~lsn =
       match Hashtbl.find_opt t.table pid with
       | None -> ()
       | Some frame ->
-          if frame.rec_lsn = None then frame.rec_lsn <- Some lsn;
+          lower_rec_lsn frame lsn;
           frame.last_lsn <- max frame.last_lsn lsn)
     pages
+
+let note_rec_lsn t pid ~lsn =
+  match Hashtbl.find_opt t.table pid with
+  | None -> ()
+  | Some frame -> lower_rec_lsn frame lsn
 
 let dirty_pages t =
   Hashtbl.fold

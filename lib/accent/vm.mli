@@ -88,6 +88,15 @@ val note_update : t -> Tabs_wal.Object_id.t -> lsn:int -> unit
     non-resident pages are ignored. *)
 val note_pages : t -> Tabs_storage.Disk.page_id list -> lsn:int -> unit
 
+(** [note_rec_lsn t pid ~lsn] lowers the page's recovery LSN to at most
+    [lsn] without touching the sequence number to stamp at page-out.
+    The Recovery Manager calls it from the [on_first_dirty] hook with
+    the next LSN to be issued: the update that just dirtied the page has
+    not reached the log yet, and a fuzzy checkpoint taken in that window
+    must still report a recovery LSN that covers it. Ignores non-resident
+    pages. *)
+val note_rec_lsn : t -> Tabs_storage.Disk.page_id -> lsn:int -> unit
+
 (** [dirty_pages t] lists dirty frames with their recovery LSNs — the
     checkpoint record's page list. *)
 val dirty_pages : t -> (Tabs_storage.Disk.page_id * int) list

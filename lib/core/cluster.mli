@@ -6,12 +6,14 @@ type t
 (** [create ~nodes ()] builds [nodes] nodes (ids 0..nodes-1) on a
     lossless network. [?profile] applies the same architecture profile
     and [?group_commit] the same force-batching configuration (see
-    {!Node.create}) to every node. *)
+    {!Node.create}) to every node, as does [?checkpointing] for the
+    background checkpoint daemon. *)
 val create :
   ?cost_model:Tabs_sim.Cost_model.t ->
   ?seed:int ->
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
+  ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

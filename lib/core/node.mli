@@ -25,13 +25,20 @@ type t
     up to the batch cap) share one stable-storage round. Off by
     default — the Section 5 latency tables and the Classic/Integrated
     equivalence are byte-identical to a build without the batcher. The
-    setting survives {!crash}/{!restart}. *)
+    setting survives {!crash}/{!restart}.
+
+    [?checkpointing] starts the {!Tabs_recovery.Checkpointer} daemon:
+    fuzzy checkpoints, trickled page write-back, and background log
+    reclamation, anchoring restart recovery at the last checkpoint. Off
+    by default for the same reason as [?group_commit]. The setting
+    survives {!crash}/{!restart}. *)
 val create :
   Tabs_sim.Engine.t ->
   Tabs_net.Network.t ->
   id:int ->
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
+  ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

@@ -130,6 +130,27 @@ let inspect (ev : Trace.event) =
             ("lsn", Int e.lsn);
             ("dirty", Int e.dirty);
             ("active", Int e.active);
+            ("prepared", Int e.prepared);
+          ];
+      }
+  | Checkpointer.Rm_writeback e ->
+      {
+        name = "writeback";
+        fields =
+          [
+            ("node", Int e.node);
+            ("pages", Int e.pages);
+            ("oldest_rec_lsn", Int e.oldest_rec_lsn);
+          ];
+      }
+  | Checkpointer.Rm_reclaimed e ->
+      {
+        name = "log_reclaimed";
+        fields =
+          [
+            ("node", Int e.node);
+            ("keep_from", Int e.keep_from);
+            ("records", Int e.records);
           ];
       }
   | Recovery_mgr.Rm_recovered e ->

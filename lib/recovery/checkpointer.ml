@@ -1,0 +1,120 @@
+open Tabs_sim
+open Tabs_accent
+open Tabs_wal
+
+type config = { interval : int; trickle : int }
+
+let default = { interval = 500_000; trickle = 8 }
+
+type Trace.event +=
+  | Rm_writeback of { node : int; pages : int; oldest_rec_lsn : int }
+  | Rm_reclaimed of { node : int; keep_from : Record.lsn; records : int }
+
+(* The daemon parks on [wake_q] between cycles so the simulation can
+   quiesce; forward processing pokes it (setting [pending] first, so a
+   poke landing mid-cycle is never lost — Waitq signals with no waiter
+   evaporate). *)
+type t = {
+  engine : Engine.t;
+  node : int;
+  vm : Vm.t;
+  log : Log_manager.t;
+  config : config;
+  checkpoint : unit -> Record.lsn;
+      (* the Recovery Manager's fuzzy checkpoint, passed as a closure
+         because the Recovery Manager owns this daemon *)
+  wake_q : unit Engine.Waitq.t;
+  mutable pending : bool;
+  mutable last_cycle : int;
+  mutable cycles : int;
+  mutable pages_written : int;
+  mutable reclaimed : int; (* log records truncated away *)
+}
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* One background cycle: trickle the oldest dirty pages out (raising the
+   truncation floor the most per write), take a fuzzy checkpoint, and
+   reclaim every record no live chain or dirty page still needs. *)
+let cycle t =
+  t.last_cycle <- Engine.now t.engine;
+  t.cycles <- t.cycles + 1;
+  let by_rec_lsn =
+    List.sort (fun (_, a) (_, b) -> compare a b) (Vm.dirty_pages t.vm)
+  in
+  (match by_rec_lsn with
+  | [] -> ()
+  | (_, oldest_rec_lsn) :: _ ->
+      let victims = take t.config.trickle by_rec_lsn in
+      List.iter (fun (pid, _) -> Vm.flush_page t.vm pid) victims;
+      t.pages_written <- t.pages_written + List.length victims;
+      if Engine.tracing t.engine then
+        Engine.emit t.engine
+          (Rm_writeback
+             { node = t.node; pages = List.length victims; oldest_rec_lsn }));
+  let ck = t.checkpoint () in
+  let keep_from =
+    List.fold_left (fun acc (_, r) -> min acc r) ck (Vm.dirty_pages t.vm)
+  in
+  let keep_from =
+    match Log_manager.oldest_first_lsn t.log with
+    | Some first -> min keep_from first
+    | None -> keep_from
+  in
+  let reclaimable = keep_from - Log_manager.first_lsn t.log in
+  if reclaimable > 0 then begin
+    t.reclaimed <- t.reclaimed + reclaimable;
+    Log_manager.truncate t.log ~keep_from;
+    if Engine.tracing t.engine then
+      Engine.emit t.engine
+        (Rm_reclaimed { node = t.node; keep_from; records = reclaimable })
+  end
+
+let rec daemon t =
+  if not t.pending then Engine.Waitq.wait t.wake_q;
+  t.pending <- false;
+  cycle t;
+  daemon t
+
+let create engine ~node ~vm ~log ~checkpoint config =
+  let t =
+    {
+      engine;
+      node;
+      vm;
+      log;
+      config;
+      checkpoint;
+      wake_q = Engine.Waitq.create ();
+      pending = false;
+      last_cycle = 0;
+      cycles = 0;
+      pages_written = 0;
+      reclaimed = 0;
+    }
+  in
+  ignore (Engine.spawn engine ~node (fun () -> daemon t));
+  t
+
+let request t =
+  if not t.pending then begin
+    t.pending <- true;
+    ignore (Engine.Waitq.signal t.wake_q ~engine:t.engine ())
+  end
+
+let poke t =
+  if
+    (not t.pending)
+    && Engine.now t.engine - t.last_cycle >= t.config.interval
+  then request t
+
+let config t = t.config
+
+let cycles t = t.cycles
+
+let pages_written t = t.pages_written
+
+let reclaimed t = t.reclaimed

@@ -6,7 +6,13 @@ open Tabs_accent
 type txn_status = Committed | Aborted | Prepared of int | Active
 
 type Trace.event +=
-  | Rm_checkpoint of { node : int; lsn : int; dirty : int; active : int }
+  | Rm_checkpoint of {
+      node : int;
+      lsn : int;
+      dirty : int;
+      active : int;
+      prepared : int;
+    }
   | Rm_recovered of {
       node : int;
       scanned : int;
@@ -31,6 +37,7 @@ type t = {
   log : Log_manager.t;
   vm : Vm.t;
   group_commit : Group_commit.t option;
+  mutable checkpointer : Checkpointer.t option;
   log_space_limit : int;
   op_handlers : (string, op_handler) Hashtbl.t;
   page_last_lsn : (Disk.page_id, int) Hashtbl.t;
@@ -38,6 +45,7 @@ type t = {
          write-ahead force before page-out *)
   mutable active_txns_source :
     unit -> (Tid.t * Record.lsn option) list;
+  mutable prepared_source : unit -> (Tid.t * int) list;
   mutable last_statuses : (Tid.t * txn_status) list;
   mutable last_background_flush : int;
   background_flush_interval : int;
@@ -54,6 +62,8 @@ let register_op_handler t ~server handler =
 
 let set_active_txns_source t f = t.active_txns_source <- f
 
+let set_prepared_source t f = t.prepared_source <- f
+
 let small_msg t = Engine.charge t.engine Cost_model.Small_contiguous_message
 
 (* A Transaction Manager -> Recovery Manager hop. On a Classic node it
@@ -69,12 +79,16 @@ let tm_rm_msg t =
 
 (* The Recovery Manager's side of the kernel <-> Recovery Manager
    paging protocol of Section 3.2.1. The kernel ({!Vm}) owns the
-   protocol's message costs; here only the write-ahead rule itself
-   remains: force the log through the page's last record before the
-   kernel may write it. *)
+   protocol's message costs; here the write-ahead rule itself remains
+   (force the log through the page's last record before the kernel may
+   write it), plus the recovery-LSN capture at first modification: the
+   dirtying update's record is not appended yet, so the next LSN to be
+   issued is the conservative bound a fuzzy checkpoint taken in that
+   window must report. *)
 let wal_hooks t =
   {
-    Vm.on_first_dirty = (fun _pid -> ());
+    Vm.on_first_dirty =
+      (fun pid -> Vm.note_rec_lsn t.vm pid ~lsn:(Log_manager.next_lsn t.log));
     before_page_out =
       (fun pid ->
         match Hashtbl.find_opt t.page_last_lsn pid with
@@ -83,31 +97,6 @@ let wal_hooks t =
     after_page_out = (fun _pid -> ());
   }
 
-let create engine ~node ~log ~vm ?(profile = Profile.Classic)
-    ?group_commit ?(log_space_limit = 256 * 1024) () =
-  let t =
-    {
-      engine;
-      node;
-      profile;
-      log;
-      vm;
-      group_commit =
-        Option.map
-          (fun config -> Group_commit.create engine ~node ~log config)
-          group_commit;
-      log_space_limit;
-      op_handlers = Hashtbl.create 8;
-      page_last_lsn = Hashtbl.create 256;
-      active_txns_source = (fun () -> []);
-      last_statuses = [];
-      last_background_flush = 0;
-      background_flush_interval = 250_000;
-    }
-  in
-  Vm.set_wal_hooks vm (wal_hooks t);
-  t
-
 let note_pages_logged t pages lsn =
   List.iter
     (fun pid ->
@@ -115,6 +104,11 @@ let note_pages_logged t pages lsn =
       | Some prev when prev >= lsn -> ()
       | Some _ | None -> Hashtbl.replace t.page_last_lsn pid lsn)
     pages
+
+let maybe_poke_checkpointer t =
+  match t.checkpointer with
+  | Some cp -> Checkpointer.poke cp
+  | None -> ()
 
 (* Forward processing ------------------------------------------------- *)
 
@@ -129,6 +123,7 @@ let log_value t ~tid ~obj ~old_value ~new_value =
   let lsn = Log_manager.append_value t.log ~tid ~obj ~old_value ~new_value in
   Vm.note_update t.vm obj ~lsn;
   note_pages_logged t (Object_id.pages obj) lsn;
+  maybe_poke_checkpointer t;
   lsn
 
 let log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs =
@@ -141,20 +136,26 @@ let log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs =
   in
   List.iter (fun obj -> Vm.note_update t.vm obj ~lsn) objs;
   note_pages_logged t pages lsn;
+  maybe_poke_checkpointer t;
   lsn
 
 (* The kernel writes modified pages back to their segments as paging
    activity allows (the paper measured 0.86 page I/Os per update
    transaction from this background traffic). Modeled as a short-lived
    cleaning fiber kicked at most once per interval when transactions
-   commit, so the simulation still quiesces. *)
+   commit, so the simulation still quiesces. A configured checkpoint
+   daemon supersedes it: its trickle write-back is this same traffic,
+   ordered to raise the log-truncation floor. *)
 let maybe_background_flush t =
-  let now = Engine.now t.engine in
-  if now - t.last_background_flush >= t.background_flush_interval then begin
-    t.last_background_flush <- now;
-    ignore
-      (Engine.spawn t.engine ~node:t.node (fun () -> Vm.flush_all t.vm))
-  end
+  match t.checkpointer with
+  | Some _ -> ()
+  | None ->
+      let now = Engine.now t.engine in
+      if now - t.last_background_flush >= t.background_flush_interval then begin
+        t.last_background_flush <- now;
+        ignore
+          (Engine.spawn t.engine ~node:t.node (fun () -> Vm.flush_all t.vm))
+      end
 
 let append_tm_record t record =
   (* Transaction Manager -> Recovery Manager traffic: a message on
@@ -163,6 +164,7 @@ let append_tm_record t record =
   (match record with
   | Record.Txn_begin _ -> maybe_background_flush t
   | _ -> ());
+  maybe_poke_checkpointer t;
   Log_manager.append t.log record
 
 (* The commit-protocol force (local commit records, 2PC commit and
@@ -175,6 +177,8 @@ let force_through t lsn =
   | Some gc -> Group_commit.force_through gc ~upto:lsn
 
 let group_commit t = t.group_commit
+
+let checkpointer t = t.checkpointer
 
 (* Undo/redo application ---------------------------------------------- *)
 
@@ -218,11 +222,52 @@ let abort t ~tid =
 
 (* Checkpoints and reclamation ---------------------------------------- *)
 
+(* A fuzzy checkpoint: record where recovery would have to start —
+   the dirty pages with their recovery LSNs, the first-update LSN of
+   every live transaction family, and the unresolved prepared
+   participants — without writing a single data page. The family
+   first-LSNs come from the log's own chain table, which also covers
+   rigs and restart windows where no Transaction Manager source is
+   wired. *)
 let checkpoint t =
   let dirty_pages = Vm.dirty_pages t.vm in
-  let active_txns = t.active_txns_source () in
+  (* The TM's view of which transactions are live lags the log: while a
+     commit force is in flight the commit record is appended but the TM
+     has not yet recorded the outcome. A checkpoint taken in that window
+     must not list the decided transaction — at restart its outcome
+     record would sit below the scan anchor and the seeded entry would
+     surface as a phantom loser. The log is the authority. *)
+  let undecided (tid, _) =
+    not (Log_manager.has_appended_outcome t.log (Tid.top_level tid))
+  in
+  let prepared =
+    List.sort compare (List.filter undecided (t.prepared_source ()))
+  in
+  let family_first = Hashtbl.create 16 in
+  List.iter
+    (fun (tid, first) ->
+      let top = Tid.top_level tid in
+      match Hashtbl.find_opt family_first top with
+      | Some f when f <= first -> ()
+      | Some _ | None -> Hashtbl.replace family_first top first)
+    (Log_manager.live_chain_firsts t.log);
+  let seen = Hashtbl.create 16 in
+  let active_txns =
+    List.filter_map
+      (fun top ->
+        if Hashtbl.mem seen top then None
+        else begin
+          Hashtbl.add seen top ();
+          Some (top, Hashtbl.find_opt family_first top)
+        end)
+      (List.map fst (List.filter undecided (t.active_txns_source ()))
+      @ List.map fst prepared
+      @ Hashtbl.fold (fun top _ acc -> top :: acc) family_first [])
+    |> List.sort compare
+  in
   let lsn =
-    Log_manager.append t.log (Record.Checkpoint { dirty_pages; active_txns })
+    Log_manager.append t.log
+      (Record.Checkpoint { dirty_pages; active_txns; prepared })
   in
   if Engine.tracing t.engine then
     Engine.emit t.engine
@@ -232,54 +277,141 @@ let checkpoint t =
            lsn;
            dirty = List.length dirty_pages;
            active = List.length active_txns;
+           prepared = List.length prepared;
          });
   Log_manager.force_all t.log;
   lsn
 
 let maybe_reclaim t =
   if Log_manager.stable_bytes t.log <= t.log_space_limit then false
-  else begin
-    (* Reclamation "may force pages back to disk before they would
-       otherwise be written". *)
-    Vm.flush_all t.vm;
-    let ck = checkpoint t in
-    let keep_from =
-      List.fold_left
-        (fun acc (tid, _) ->
-          match Log_manager.first_lsn_of t.log tid with
-          | Some first -> min acc first
-          | None -> acc)
-        ck
-        (t.active_txns_source ())
-    in
-    Log_manager.truncate t.log ~keep_from;
-    true
-  end
+  else
+    match t.checkpointer with
+    | Some cp ->
+        (* the daemon reclaims in the background; the foreground
+           transaction neither flushes nor waits *)
+        Checkpointer.request cp;
+        false
+    | None ->
+        (* Reclamation "may force pages back to disk before they would
+           otherwise be written". *)
+        Vm.flush_all t.vm;
+        let ck = checkpoint t in
+        let keep_from =
+          match Log_manager.oldest_first_lsn t.log with
+          | Some first -> min ck first
+          | None -> ck
+        in
+        (* pinned pages can survive the flush: keep their recovery LSNs *)
+        let keep_from =
+          List.fold_left (fun acc (_, r) -> min acc r) keep_from
+            (Vm.dirty_pages t.vm)
+        in
+        Log_manager.truncate t.log ~keep_from;
+        true
+
+let create engine ~node ~log ~vm ?(profile = Profile.Classic)
+    ?group_commit ?checkpointing ?(log_space_limit = 256 * 1024) () =
+  let t =
+    {
+      engine;
+      node;
+      profile;
+      log;
+      vm;
+      group_commit =
+        Option.map
+          (fun config -> Group_commit.create engine ~node ~log config)
+          group_commit;
+      checkpointer = None;
+      log_space_limit;
+      op_handlers = Hashtbl.create 8;
+      page_last_lsn = Hashtbl.create 256;
+      active_txns_source = (fun () -> []);
+      prepared_source = (fun () -> []);
+      last_statuses = [];
+      last_background_flush = 0;
+      background_flush_interval = 250_000;
+    }
+  in
+  Vm.set_wal_hooks vm (wal_hooks t);
+  t.checkpointer <-
+    Option.map
+      (fun config ->
+        Checkpointer.create engine ~node ~vm ~log
+          ~checkpoint:(fun () -> checkpoint t)
+          config)
+      checkpointing;
+  t
 
 (* Crash recovery ------------------------------------------------------ *)
 
 type analysis = {
   records : (Record.lsn * Record.t) array;
-  mutable statuses : (Tid.t * txn_status) list; (* top-level tids *)
-  mutable aborted_tids : Tid.t list; (* incl. subtransactions *)
+  statuses : (Tid.t, txn_status) Hashtbl.t; (* top-level tids *)
+  aborted : (Tid.t, unit) Hashtbl.t; (* incl. subtransactions *)
 }
 
 let status_of a top =
-  match List.assoc_opt top a.statuses with Some s -> s | None -> Active
+  match Hashtbl.find_opt a.statuses top with Some s -> s | None -> Active
 
-let set_status a top status =
-  a.statuses <- (top, status) :: List.remove_assoc top a.statuses
+let set_status a top status = Hashtbl.replace a.statuses top status
+
+(* Did a logged abort cover [tid] — itself or any ancestor? Probed by
+   path prefix against the abort set, so the cost per record is the
+   nesting depth, not the number of aborts on the log. *)
+let covered_by_abort a (tid : Tid.t) =
+  let rec go prefix_rev rest =
+    Hashtbl.mem a.aborted { tid with Tid.path = List.rev prefix_rev }
+    ||
+    match rest with [] -> false | x :: tl -> go (x :: prefix_rev) tl
+  in
+  go [] tid.Tid.path
+
+(* The newest stable checkpoint, if its record is still readable. *)
+let scan_anchor t =
+  match Log_manager.last_checkpoint t.log with
+  | None -> None
+  | Some lsn -> (
+      match Log_manager.read t.log lsn with
+      | Record.Checkpoint c -> Some (lsn, c)
+      | _ -> None
+      | exception Not_found -> None)
 
 (* Forward scan of the live stable log: collect records, resolve each
    top-level transaction's fate, and remember individually aborted
-   subtransactions. *)
-let analyze t =
+   subtransactions.
+
+   Anchored at the last checkpoint, the scan starts at the minimum of
+   the checkpoint's own LSN, its dirty pages' recovery LSNs, and its
+   transaction families' first-update LSNs: every record below that
+   either belongs to a finished transaction whose effects the segments
+   already reflect (its pages were clean, or their recovery LSNs were
+   higher), or to nothing recovery cares about. Statuses are seeded from
+   the checkpoint — prepared participants first, since their prepare
+   records may predate the scan — and records scanned afterwards
+   override the seeds. Without a checkpoint (or with [~anchored:false])
+   the scan covers the whole live log. *)
+let analyze ?(anchored = true) t =
+  let anchor = if anchored then scan_anchor t else None in
+  let scan_from =
+    match anchor with
+    | None -> Log_manager.first_lsn t.log
+    | Some (lsn, c) ->
+        let floor =
+          List.fold_left (fun acc (_, rec_lsn) -> min acc rec_lsn) lsn
+            c.dirty_pages
+        in
+        let floor =
+          List.fold_left
+            (fun acc (_, first) ->
+              match first with Some f -> min acc f | None -> acc)
+            floor c.active_txns
+        in
+        max (Log_manager.first_lsn t.log) floor
+  in
   let acc = ref [] in
-  let n = ref 0 in
   let bytes = ref 0 in
-  Log_manager.iter_forward t.log ~from:(Log_manager.first_lsn t.log)
-    ~f:(fun lsn record ->
-      incr n;
+  Log_manager.iter_forward t.log ~from:scan_from ~f:(fun lsn record ->
       bytes := !bytes + String.length (Record.encode record);
       acc := (lsn, record) :: !acc);
   (* reading the log back is sequential I/O, one read per log page *)
@@ -290,22 +422,34 @@ let analyze t =
   let a =
     {
       records = Array.of_list (List.rev !acc);
-      statuses = [];
-      aborted_tids = [];
+      statuses = Hashtbl.create 64;
+      aborted = Hashtbl.create 16;
     }
   in
+  (match anchor with
+  | None -> ()
+  | Some (_, c) ->
+      List.iter
+        (fun (tid, coordinator) ->
+          set_status a (Tid.top_level tid) (Prepared coordinator))
+        c.prepared;
+      List.iter
+        (fun (tid, _) ->
+          let top = Tid.top_level tid in
+          if not (Hashtbl.mem a.statuses top) then set_status a top Active)
+        c.active_txns);
   Array.iter
     (fun (_, record) ->
       match record with
       | Record.Txn_begin tid | Record.Update_value { tid; _ }
       | Record.Update_operation { tid; _ } ->
           let top = Tid.top_level tid in
-          if not (List.mem_assoc top a.statuses) then set_status a top Active
+          if not (Hashtbl.mem a.statuses top) then set_status a top Active
       | Record.Txn_prepare (tid, coordinator) ->
           set_status a (Tid.top_level tid) (Prepared coordinator)
       | Record.Txn_commit tid -> set_status a (Tid.top_level tid) Committed
       | Record.Txn_abort tid ->
-          a.aborted_tids <- tid :: a.aborted_tids;
+          Hashtbl.replace a.aborted tid ();
           if Tid.is_top tid then set_status a tid Aborted
       | Record.Txn_end _ | Record.Checkpoint _ -> ())
     a.records;
@@ -314,10 +458,7 @@ let analyze t =
 (* An update by [tid] survives iff no logged abort covers it and its
    top-level transaction committed or prepared. *)
 let winner a tid =
-  (not
-     (List.exists
-        (fun aborted -> Tid.is_ancestor ~ancestor:aborted tid)
-        a.aborted_tids))
+  (not (covered_by_abort a tid))
   &&
   match status_of a (Tid.top_level tid) with
   | Committed | Prepared _ -> true
@@ -367,51 +508,74 @@ module Obj_set = Hashtbl.Make (Obj_key)
 (* The single backward pass of value recovery: the newest record for an
    object decides it. A winner's new value finalizes the object; loser
    records keep restoring older old-values until the oldest one — whose
-   old value is the last committed image — has been applied. *)
+   old value is the last committed image — has been applied.
+
+   Like the operation redo pass, the restores are gated by the sector
+   sequence numbers: a winner whose page already carries a sequence
+   number at or past its LSN is on disk exactly as logged (the page-out
+   snapshot covers every update noted by then, and winners are never
+   undone in place), so nothing need be read or written; a loser whose
+   page's sequence number is below its LSN never reached the segment,
+   so there is nothing to undo and the walk continues toward the last
+   committed image. *)
 let value_backward_pass t a =
   let finalized = Obj_set.create 64 in
+  let disk = Vm.disk t.vm in
   for i = Array.length a.records - 1 downto 0 do
     match a.records.(i) with
     | lsn, Record.Update_value u ->
-        if not (Obj_set.mem finalized u.obj) then
+        if not (Obj_set.mem finalized u.obj) then begin
+          let on_disk =
+            (* value-logged objects fit one page (checked at log_value) *)
+            List.for_all
+              (fun pid -> Disk.seqno disk pid >= lsn)
+              (Object_id.pages u.obj)
+          in
           if winner a u.tid then begin
-            restore_value t u.obj u.new_value;
-            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn;
+            if not on_disk then begin
+              restore_value t u.obj u.new_value;
+              Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+            end;
             Obj_set.add finalized u.obj ()
           end
-          else begin
+          else if on_disk then begin
             restore_value t u.obj u.old_value;
             Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
           end
+        end
     | _ -> ()
   done
 
-let recover t =
-  let a = analyze t in
+let recover ?anchored t =
+  let a = analyze ?anchored t in
   op_redo_pass t a;
   value_backward_pass t a;
   op_undo_pass t a;
   (* Roll-back records for the losers that never logged an outcome. *)
   let losers =
-    List.filter_map
-      (fun (tid, status) -> if status = Active then Some tid else None)
-      a.statuses
+    Hashtbl.fold
+      (fun tid status acc -> if status = Active then tid :: acc else acc)
+      a.statuses []
+    |> List.sort Tid.compare
   in
   List.iter
     (fun tid -> ignore (Log_manager.append t.log (Record.Txn_abort tid)))
     losers;
   let in_doubt =
-    List.filter_map
-      (fun (tid, status) ->
-        match status with Prepared c -> Some (tid, c) | _ -> None)
-      a.statuses
+    Hashtbl.fold
+      (fun tid status acc ->
+        match status with Prepared c -> (tid, c) :: acc | _ -> acc)
+      a.statuses []
+    |> List.sort compare
   in
+  let in_doubt_tops = Hashtbl.create 8 in
+  List.iter (fun (tid, _) -> Hashtbl.replace in_doubt_tops tid ()) in_doubt;
   let written_objects =
     Array.to_list a.records
     |> List.filter_map (fun (_, record) ->
            match record with
            | Record.Update_value u
-             when List.mem_assoc (Tid.top_level u.tid) in_doubt ->
+             when Hashtbl.mem in_doubt_tops (Tid.top_level u.tid) ->
                Some (u.tid, u.obj)
            | _ -> None)
   in
@@ -421,16 +585,13 @@ let recover t =
   let chains = Hashtbl.create 8 in
   Array.iter
     (fun (lsn, record) ->
-      match Record.tid_of record with
-      | Some tid
-        when (match record with
-             | Record.Update_value _ | Record.Update_operation _ -> true
-             | _ -> false)
-             && List.mem_assoc (Tid.top_level tid) in_doubt -> (
+      match record with
+      | (Record.Update_value { tid; _ } | Record.Update_operation { tid; _ })
+        when Hashtbl.mem in_doubt_tops (Tid.top_level tid) -> (
           match Hashtbl.find_opt chains tid with
           | None -> Hashtbl.add chains tid (lsn, lsn)
           | Some (first, _) -> Hashtbl.replace chains tid (first, lsn))
-      | Some _ | None -> ())
+      | _ -> ())
     a.records;
   Hashtbl.iter
     (fun tid (first, last) ->
@@ -441,18 +602,42 @@ let recover t =
   Log_manager.force_all t.log;
   (* Everything is on disk now; reclaim the scanned prefix so repeated
      crashes do not re-read ever-growing history. Chains of in-doubt
-     transactions must stay walkable for a late Abort verdict. *)
+     transactions must stay walkable for a late Abort verdict, and the
+     closing checkpoint carries them so the next restart can anchor on
+     it. *)
   let keep_from =
     Hashtbl.fold (fun _ (first, _) acc -> min acc first) chains
       (Log_manager.next_lsn t.log)
   in
+  let family_first = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun tid (first, _) ->
+      let top = Tid.top_level tid in
+      match Hashtbl.find_opt family_first top with
+      | Some f when f <= first -> ()
+      | Some _ | None -> Hashtbl.replace family_first top first)
+    chains;
   let ck =
     Log_manager.append t.log
-      (Record.Checkpoint { dirty_pages = []; active_txns = [] })
+      (Record.Checkpoint
+         {
+           dirty_pages = Vm.dirty_pages t.vm;
+           active_txns =
+             List.map
+               (fun (tid, _) -> (tid, Hashtbl.find_opt family_first tid))
+               in_doubt;
+           prepared = in_doubt;
+         })
   in
   Log_manager.force_all t.log;
-  Log_manager.truncate t.log ~keep_from:(min keep_from ck);
-  t.last_statuses <- a.statuses;
+  let keep_from =
+    List.fold_left (fun acc (_, r) -> min acc r) (min keep_from ck)
+      (Vm.dirty_pages t.vm)
+  in
+  Log_manager.truncate t.log ~keep_from;
+  t.last_statuses <-
+    List.sort compare
+      (Hashtbl.fold (fun tid s acc -> (tid, s) :: acc) a.statuses []);
   if Engine.tracing t.engine then
     Engine.emit t.engine
       (Rm_recovered

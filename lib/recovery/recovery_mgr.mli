@@ -26,7 +26,13 @@ type txn_status =
 (** Trace events: a checkpoint record written (with the table sizes it
     captured) and the completion of a crash-recovery pass. *)
 type Tabs_sim.Trace.event +=
-  | Rm_checkpoint of { node : int; lsn : int; dirty : int; active : int }
+  | Rm_checkpoint of {
+      node : int;
+      lsn : int;
+      dirty : int;
+      active : int;
+      prepared : int;
+    }
   | Rm_recovered of {
       node : int;
       scanned : int;
@@ -65,7 +71,13 @@ type recovery_outcome = {
     measured. [?group_commit] starts a {!Group_commit} force batcher
     through which {!force_through} coalesces concurrent commit-protocol
     forces; omitted (the default), every force pays its own
-    stable-storage round, exactly as the paper measured. *)
+    stable-storage round, exactly as the paper measured.
+    [?checkpointing] starts a background {!Checkpointer} daemon that
+    trickle-writes dirty pages, takes periodic fuzzy checkpoints, and
+    reclaims the log in the background — with it configured,
+    {!maybe_reclaim} never flushes on the foreground path. Omitted (the
+    default), checkpoints happen only where callers ask for them,
+    exactly as before. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
@@ -73,6 +85,7 @@ val create :
   vm:Tabs_accent.Vm.t ->
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Group_commit.config ->
+  ?checkpointing:Checkpointer.config ->
   ?log_space_limit:int ->
   unit ->
   t
@@ -91,6 +104,12 @@ val register_op_handler : t -> server:string -> op_handler -> unit
     list of in-progress transactions for checkpoint records. *)
 val set_active_txns_source :
   t -> (unit -> (Tabs_wal.Tid.t * Tabs_wal.Record.lsn option) list) -> unit
+
+(** [set_prepared_source t f] — the Transaction Manager supplies the
+    prepared-but-unresolved participants (with their coordinator nodes)
+    for checkpoint records, so a checkpoint-anchored restart can seed
+    its in-doubt table without scanning back to the prepare records. *)
+val set_prepared_source : t -> (unit -> (Tabs_wal.Tid.t * int) list) -> unit
 
 (** {2 Forward processing} *)
 
@@ -132,6 +151,9 @@ val force_through : t -> Tabs_wal.Record.lsn -> unit
 (** The force batcher, when one was configured. *)
 val group_commit : t -> Group_commit.t option
 
+(** The background checkpoint daemon, when one was configured. *)
+val checkpointer : t -> Checkpointer.t option
+
 (** {2 Abort}
 
     [abort t ~tid] follows the backward chain of [tid]'s log records,
@@ -142,15 +164,20 @@ val abort : t -> tid:Tabs_wal.Tid.t -> unit
 
 (** {2 Checkpoints and reclamation} *)
 
-(** [checkpoint t] writes a checkpoint record (current dirty pages and
-    active transactions) and forces the log. *)
+(** [checkpoint t] writes a {e fuzzy} checkpoint record — the dirty
+    pages with their recovery LSNs, the first-update LSN of every live
+    transaction family, and the unresolved prepared participants — and
+    forces the log. No data page is written. *)
 val checkpoint : t -> Tabs_wal.Record.lsn
 
 (** [maybe_reclaim t] runs the reclamation algorithm if the live log
-    exceeds the space limit: forces pages to disk ("before they would
-    otherwise be written"), checkpoints, and truncates the log prefix no
-    longer needed by any dirty page or active transaction. Returns true
-    if space was reclaimed. *)
+    exceeds the space limit. With a {!Checkpointer} configured it only
+    requests a background cycle and returns [false] — the foreground
+    transaction never flushes. Without one it forces pages to disk
+    ("before they would otherwise be written"), checkpoints, and
+    truncates the log prefix no longer needed by any dirty page, active
+    transaction, or in-doubt participant. Returns true if space was
+    reclaimed synchronously. *)
 val maybe_reclaim : t -> bool
 
 (** {2 Crash recovery} *)
@@ -159,8 +186,15 @@ val maybe_reclaim : t -> bool
     in one backward pass; operation-logged objects by
     analysis/redo/undo passes gated on sector sequence numbers. Abort
     records are written for losers; disk pages are flushed so the
-    segments reflect exactly the committed and prepared transactions. *)
-val recover : t -> recovery_outcome
+    segments reflect exactly the committed and prepared transactions.
+
+    By default the analysis scan is anchored at the last stable
+    checkpoint: it starts at the minimum of the checkpoint's LSN, its
+    dirty pages' recovery LSNs, and its live families' first-update
+    LSNs, seeding transaction statuses from the checkpoint's tables.
+    [~anchored:false] forces the pre-checkpoint behavior — a full scan
+    of the live log — for comparison and cross-checking. *)
+val recover : ?anchored:bool -> t -> recovery_outcome
 
 (** [statuses t] — transaction statuses computed by the last {!recover},
     for the Transaction Manager's restart queries. *)

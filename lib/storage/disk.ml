@@ -16,7 +16,10 @@ type t = {
 
 let create engine = { engine; segments = Hashtbl.create 16; writes = 0 }
 
-let fresh_sector () = { data = Page.zero (); seqno = 0 }
+(* A never-written sector reports sequence number -1: the first log
+   record is LSN 0, so 0 would be indistinguishable from "written
+   covering LSN 0" to the recovery gates. *)
+let fresh_sector () = { data = Page.zero (); seqno = -1 }
 
 let ensure_segment t seg ~pages =
   match Hashtbl.find_opt t.segments seg with
@@ -70,5 +73,19 @@ let write_nocharge t pid page ~seqno =
   t.writes <- t.writes + 1
 
 let seqno t pid = (sector t pid).seqno
+
+let copy t ~engine =
+  let fresh = { engine; segments = Hashtbl.create 16; writes = t.writes } in
+  Hashtbl.iter
+    (fun seg s ->
+      Hashtbl.add fresh.segments seg
+        {
+          sectors =
+            Array.map
+              (fun sec -> { data = Page.copy sec.data; seqno = sec.seqno })
+              s.sectors;
+        })
+    t.segments;
+  fresh
 
 let pages_written t = t.writes

@@ -44,8 +44,14 @@ val read_nocharge : t -> page_id -> Page.t
 val write_nocharge : t -> page_id -> Page.t -> seqno:int -> unit
 
 (** [seqno t pid] is the sequence number last written with the page
-    (0 for never-written pages). *)
+    (-1 for never-written pages, so a write covering LSN 0 is
+    distinguishable). *)
 val seqno : t -> page_id -> int
+
+(** [copy t ~engine] is an independent deep copy charging its I/O to
+    [engine] — a frozen image of the disk at a crash instant, for tests
+    that replay recovery against it. *)
+val copy : t -> engine:Tabs_sim.Engine.t -> t
 
 (** Number of pages ever written, a convenience for tests. *)
 val pages_written : t -> int

@@ -42,6 +42,14 @@ let truncate_prefix t ~keep_from =
     t.count <- remaining
   end
 
+let copy t =
+  {
+    records = Array.copy t.records;
+    first = t.first;
+    count = t.count;
+    bytes = t.bytes;
+  }
+
 let iter t ~f =
   for i = 0 to t.count - 1 do
     f (t.first + i) t.records.(i)

@@ -35,6 +35,10 @@ val truncate_prefix : t -> keep_from:int -> unit
     order. *)
 val iter : t -> f:(int -> string -> unit) -> unit
 
+(** [copy t] is an independent deep copy — a frozen image of the log at
+    a crash instant, for tests that replay recovery against it. *)
+val copy : t -> t
+
 (** [total_bytes t] is the live log size in bytes, used by the
     reclamation policy. *)
 val total_bytes : t -> int

@@ -662,6 +662,11 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
     }
   in
   Recovery_mgr.set_active_txns_source rm (fun () -> active_txns t);
+  Recovery_mgr.set_prepared_source rm (fun () ->
+      Hashtbl.fold
+        (fun top p acc ->
+          if p.p_resolved then acc else (top, p.p_coordinator) :: acc)
+        t.participants []);
   Comm_mgr.set_remote_involvement_handler cm (fun tid ->
       (* the Communication Manager's first-spread notice to the TM *)
       Metrics.record (Engine.metrics engine) Cost_model.Small_contiguous_message;

@@ -33,6 +33,12 @@ type t = {
   mutable next : lsn;
   txn_last : (Tid.t, lsn) Hashtbl.t;
   txn_first : (Tid.t, lsn) Hashtbl.t;
+  outcome_lsns : (Tid.t, lsn) Hashtbl.t;
+      (* commit/abort/end records appended, keyed by transaction; the
+         fuzzy checkpoint consults this so a transaction whose outcome
+         is already in the log is never listed as active — the TM's
+         bookkeeping lags the append while the commit force is in
+         flight. Pruned at truncation, so it tracks the live log. *)
   mutable forces : int;
   mutable device_free_at : int; (* the stable-storage device is a single
                                    channel: a force whose writes would
@@ -40,7 +46,8 @@ type t = {
                                    behind it in virtual time *)
 }
 
-let dummy_record = Record.Checkpoint { dirty_pages = []; active_txns = [] }
+let dummy_record =
+  Record.Checkpoint { dirty_pages = []; active_txns = []; prepared = [] }
 
 let attach engine stable =
   {
@@ -53,6 +60,7 @@ let attach engine stable =
     next = Stable.next stable;
     txn_last = Hashtbl.create 32;
     txn_first = Hashtbl.create 32;
+    outcome_lsns = Hashtbl.create 32;
     forces = 0;
     device_free_at = 0;
   }
@@ -87,6 +95,22 @@ let last_lsn_of t tid = Hashtbl.find_opt t.txn_last tid
 
 let first_lsn_of t tid = Hashtbl.find_opt t.txn_first tid
 
+(* Minimum over every live update chain — active transactions,
+   subtransactions, and prepared-but-unresolved participants alike
+   (chains are only unregistered at commit/abort/end, and restart
+   re-registers in-doubt ones). Log reclamation must keep everything
+   from here on. *)
+let oldest_first_lsn t =
+  Hashtbl.fold
+    (fun _ first acc ->
+      match acc with None -> Some first | Some a -> Some (min a first))
+    t.txn_first None
+
+let live_chain_firsts t =
+  Hashtbl.fold (fun tid first acc -> (tid, first) :: acc) t.txn_first []
+
+let has_appended_outcome t tid = Hashtbl.mem t.outcome_lsns tid
+
 let chained_tids_of_family t top =
   let root = Tid.top_level top in
   Hashtbl.fold
@@ -116,7 +140,8 @@ let push t record =
             Hashtbl.add t.txn_first tid lsn
       | Record.Txn_commit _ | Record.Txn_abort _ | Record.Txn_end _ ->
           Hashtbl.remove t.txn_last tid;
-          Hashtbl.remove t.txn_first tid
+          Hashtbl.remove t.txn_first tid;
+          Hashtbl.replace t.outcome_lsns tid lsn
       | Record.Txn_begin _ | Record.Txn_prepare _ | Record.Checkpoint _ -> ())
   | None -> ());
   if Engine.tracing t.engine then
@@ -231,7 +256,11 @@ let last_checkpoint t =
   iter_backward t ~from:(Stable.next t.stable - 1) ~f;
   !found
 
-let truncate t ~keep_from = Stable.truncate_prefix t.stable ~keep_from
+let truncate t ~keep_from =
+  Stable.truncate_prefix t.stable ~keep_from;
+  Hashtbl.filter_map_inplace
+    (fun _ lsn -> if lsn < keep_from then None else Some lsn)
+    t.outcome_lsns
 
 let force_count t = t.forces
 

@@ -62,6 +62,26 @@ val last_lsn_of : t -> Tid.t -> lsn option
     transaction. *)
 val first_lsn_of : t -> Tid.t -> lsn option
 
+(** [oldest_first_lsn t] is the smallest first-update LSN over every
+    live update chain — active transactions and subtransactions as well
+    as prepared-but-unresolved (in-doubt) participants, whose chains
+    stay registered until their verdict arrives. [None] when no chain is
+    live. Log reclamation must not truncate at or past this LSN. *)
+val oldest_first_lsn : t -> lsn option
+
+(** [live_chain_firsts t] lists every live update chain with its
+    first-update LSN, unordered — the raw material for a fuzzy
+    checkpoint's active-transaction table. *)
+val live_chain_firsts : t -> (Tid.t * lsn) list
+
+(** [has_appended_outcome t tid] is whether a commit, abort, or end
+    record for [tid] has been appended to the live log. The Transaction
+    Manager's own bookkeeping lags the append while the commit force is
+    in flight, so a fuzzy checkpoint taken in that window must consult
+    the log — not the TM — to avoid listing a decided transaction as
+    active. Entries below the truncation point are forgotten. *)
+val has_appended_outcome : t -> Tid.t -> bool
+
 (** [chained_tids_of_family t top] lists the transactions of [top]'s
     family (the top-level transaction and its subtransactions) that have
     live update chains — the set abort processing must undo. *)

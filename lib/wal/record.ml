@@ -23,6 +23,7 @@ type update_operation = {
 type checkpoint = {
   dirty_pages : (Disk.page_id * lsn) list;
   active_txns : (Tid.t * lsn option) list;
+  prepared : (Tid.t * int) list;
 }
 
 type t =
@@ -128,7 +129,12 @@ let encode t =
         (fun w (tid, lsn) ->
           write_tid w tid;
           Codec.Writer.option w Codec.Writer.int lsn)
-        c.active_txns);
+        c.active_txns;
+      Codec.Writer.list w
+        (fun w (tid, coordinator) ->
+          write_tid w tid;
+          Codec.Writer.int w coordinator)
+        c.prepared);
   Codec.Writer.contents w
 
 let decode s =
@@ -172,7 +178,13 @@ let decode s =
               let lsn = Codec.Reader.option r Codec.Reader.int in
               (tid, lsn))
         in
-        Checkpoint { dirty_pages; active_txns }
+        let prepared =
+          Codec.Reader.list r (fun r ->
+              let tid = read_tid r in
+              let coordinator = Codec.Reader.int r in
+              (tid, coordinator))
+        in
+        Checkpoint { dirty_pages; active_txns; prepared }
     | n -> raise (Codec.Reader.Malformed (Printf.sprintf "unknown tag %d" n))
   in
   if not (Codec.Reader.at_end r) then
@@ -194,6 +206,8 @@ let pp fmt = function
   | Txn_prepare (tid, c) -> Format.fprintf fmt "prepare %a coord=%d" Tid.pp tid c
   | Txn_end tid -> Format.fprintf fmt "end %a" Tid.pp tid
   | Checkpoint c ->
-      Format.fprintf fmt "checkpoint (%d dirty pages, %d active txns)"
+      Format.fprintf fmt
+        "checkpoint (%d dirty pages, %d active txns, %d prepared)"
         (List.length c.dirty_pages)
         (List.length c.active_txns)
+        (List.length c.prepared)

@@ -36,10 +36,18 @@ type update_operation = {
 
 type checkpoint = {
   dirty_pages : (Tabs_storage.Disk.page_id * lsn) list;
-      (** pages in volatile storage and the LSN of the earliest update
-          not yet reflected on disk (recovery must start no later). *)
+      (** pages in volatile storage and their recovery LSNs — the LSN of
+          the earliest update not yet reflected on disk (recovery must
+          start no later). *)
   active_txns : (Tid.t * lsn option) list;
-      (** transactions in progress and their most recent update LSN. *)
+      (** transactions in progress (including prepared ones) and the
+          earliest update LSN of any member of their family, [None] if
+          the family has logged no update yet. Checkpoint-anchored
+          analysis starts its scan no later than the smallest of these. *)
+  prepared : (Tid.t * int) list;
+      (** prepared-but-unresolved participants and their coordinator
+          nodes: their prepare records may predate the checkpoint, so
+          analysis seeds their in-doubt status from here. *)
 }
 
 type t =

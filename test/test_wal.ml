@@ -83,6 +83,7 @@ let sample_records =
       {
         dirty_pages = [ ({ Disk.segment = 4; page = 7 }, 99) ];
         active_txns = [ (tid, Some 98); (sub, None) ];
+        prepared = [ (tid, 3) ];
       };
   ]
 
@@ -146,6 +147,7 @@ let gen_record =
           {
             dirty_pages = [ ({ Disk.segment = 1; page = n mod 17 }, n) ];
             active_txns = [ (tid, Some n) ];
+            prepared = [ (tid, n mod 7) ];
           };
       ])
 
@@ -253,7 +255,8 @@ let test_log_checkpoint_scan () =
       ignore (Log_manager.append log (Record.Txn_begin tid));
       let ck =
         Log_manager.append log
-          (Record.Checkpoint { dirty_pages = []; active_txns = [] })
+          (Record.Checkpoint
+             { dirty_pages = []; active_txns = []; prepared = [] })
       in
       ignore (Log_manager.append log (Record.Txn_commit tid));
       Log_manager.force_all log;
