@@ -64,6 +64,8 @@ let group_commit () = Tabs_bench.Throughput.print_group_commit ()
 
 let recovery () = Tabs_bench.Recovery.print_recovery ()
 
+let messages () = Tabs_bench.Messages.print_messages ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -130,6 +132,7 @@ let sections =
     ("throughput", throughput);
     ("group-commit", group_commit);
     ("recovery", recovery);
+    ("messages", messages);
     ("shapes", shapes);
   ]
 

@@ -15,8 +15,11 @@ let print_cost_table ~title ~(paper : (string * float) list) model =
     (fun p ->
       let name = Tabs_sim.Cost_model.name p in
       let ours = float_of_int (Tabs_sim.Cost_model.cost model p) /. 1000. in
-      let paper_v = List.assoc name paper in
-      Printf.printf "%-30s %10.2f %10.2f\n" name ours paper_v)
+      (* primitives absent from the paper table (our extensions) are not
+         paper rows: skip them so the table matches the paper's shape *)
+      match List.assoc_opt name paper with
+      | None -> ()
+      | Some paper_v -> Printf.printf "%-30s %10.2f %10.2f\n" name ours paper_v)
     Tabs_sim.Cost_model.all
 
 let count_columns =

@@ -232,9 +232,10 @@ let run_spec ?(iterations = 25) ?(warmup = 5) ?profile ~model spec =
       rng = Rng.create ~seed:7;
     }
   in
-  let pre_total = Array.make 9 0. in
-  let commit_total = Array.make 9 0. in
-  let elided_total = Array.make 9 0. in
+  let n_prims = List.length Cost_model.all in
+  let pre_total = Array.make n_prims 0. in
+  let commit_total = Array.make n_prims 0. in
+  let elided_total = Array.make n_prims 0. in
   let elapsed = ref 0 in
   let process = ref 0 in
   let ds = ref 0 in

@@ -73,6 +73,23 @@ let checkpointing_arg =
            { Tabs_recovery.Checkpointer.default with interval }))
     $ interval)
 
+(* ... and --comm-batch: the Communication Manager's comm-batching
+   layer (off by default, keeping the measured tables byte-identical). *)
+let comm_batch_arg =
+  let flag =
+    Arg.(
+      value & flag
+      & info [ "comm-batch" ]
+          ~doc:
+            "Enable comm batching on every node: session acks are \
+             delayed so they can piggyback on reverse-direction frames, \
+             and frames to the same peer within a flush window coalesce \
+             into one multi-frame datagram.")
+  in
+  Term.(
+    const (fun on -> if on then Some Tabs_net.Comm_mgr.default_batching else None)
+    $ flag)
+
 (* Every subcommand also accepts --trace (human-readable event dump +
    span summary on stdout) and --trace-jsonl FILE (JSON Lines export). *)
 type trace_opts = { dump : bool; jsonl : string option }
@@ -121,8 +138,9 @@ let finish_trace topts = function
 
 (* crash ------------------------------------------------------------------ *)
 
-let run_crash profile group_commit checkpointing topts =
-  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing () in
+let run_crash profile group_commit checkpointing comm_batching topts =
+  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing
+      ?comm_batching () in
   let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
@@ -161,9 +179,11 @@ let run_crash profile group_commit checkpointing topts =
 
 (* twophase ---------------------------------------------------------------- *)
 
-let run_twophase profile group_commit checkpointing topts nodes kill_coordinator =
+let run_twophase profile group_commit checkpointing comm_batching topts nodes
+    kill_coordinator =
   let nodes = max 2 (min 5 nodes) in
-  let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing () in
+  let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing
+      ?comm_batching () in
   let tr = start_trace topts c in
   List.iter
     (fun node ->
@@ -240,8 +260,9 @@ let run_twophase profile group_commit checkpointing topts nodes kill_coordinator
 
 (* voting -------------------------------------------------------------------- *)
 
-let run_voting profile group_commit checkpointing topts =
-  let c = Cluster.create ~nodes:3 ~profile ?group_commit ?checkpointing () in
+let run_voting profile group_commit checkpointing comm_batching topts =
+  let c = Cluster.create ~nodes:3 ~profile ?group_commit ?checkpointing
+      ?comm_batching () in
   let tr = start_trace topts c in
   List.iter
     (fun node ->
@@ -284,8 +305,9 @@ let run_voting profile group_commit checkpointing topts =
 
 (* screen -------------------------------------------------------------------- *)
 
-let run_screen profile group_commit checkpointing topts =
-  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing () in
+let run_screen profile group_commit checkpointing comm_batching topts =
+  let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing
+      ?comm_batching () in
   let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let io = Io_server.create (Node.env node) ~name:"io" ~segment:6 () in
@@ -309,7 +331,7 @@ let run_screen profile group_commit checkpointing topts =
 
 (* stats --------------------------------------------------------------------- *)
 
-let run_stats profile group_commit checkpointing topts index =
+let run_stats profile group_commit checkpointing comm_batching topts index =
   let specs = Workload_specs.specs in
   if index < 0 || index >= List.length specs then begin
     say "benchmark index out of range (0..%d):" (List.length specs - 1);
@@ -319,7 +341,8 @@ let run_stats profile group_commit checkpointing topts index =
   else begin
     let name, nodes, body = List.nth specs index in
     say "running benchmark: %s (%d node(s))" name nodes;
-    let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing () in
+    let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing
+      ?comm_batching () in
     let tr = start_trace topts c in
     List.iter
       (fun node ->
@@ -368,7 +391,9 @@ let run_stats profile group_commit checkpointing topts index =
 
 let crash_cmd =
   Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
-    Term.(const run_crash $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
+    Term.(
+      const run_crash $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg)
 
 let twophase_cmd =
   let nodes =
@@ -384,17 +409,23 @@ let twophase_cmd =
   in
   Cmd.v
     (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
-    Term.(const run_twophase $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg $ nodes $ kill)
+    Term.(
+      const run_twophase $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg $ nodes $ kill)
 
 let voting_cmd =
   Cmd.v
     (Cmd.info "voting" ~doc:"Replicated directory with weighted voting")
-    Term.(const run_voting $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
+    Term.(
+      const run_voting $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg)
 
 let screen_cmd =
   Cmd.v
     (Cmd.info "screen" ~doc:"Transactional display output (I/O server)")
-    Term.(const run_screen $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg)
+    Term.(
+      const run_screen $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg)
 
 let stats_cmd =
   let index =
@@ -402,7 +433,9 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Primitive-operation profile of one benchmark")
-    Term.(const run_stats $ profile_arg $ group_commit_arg $ checkpointing_arg $ trace_arg $ index)
+    Term.(
+      const run_stats $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg $ index)
 
 let () =
   let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in

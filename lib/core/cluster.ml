@@ -4,13 +4,13 @@ open Tabs_net
 type t = { engine : Engine.t; net : Network.t; node_list : Node.t list }
 
 let create ?cost_model ?(seed = 1) ?profile ?group_commit ?checkpointing
-    ?frames ?log_space_limit ?read_only_optimization ~nodes () =
+    ?comm_batching ?frames ?log_space_limit ?read_only_optimization ~nodes () =
   let engine = Engine.create ?cost_model () in
   let net = Network.create engine ~seed in
   let node_list =
     List.init nodes (fun id ->
         Node.create engine net ~id ?profile ?group_commit ?checkpointing
-          ?frames ?log_space_limit ?read_only_optimization ())
+          ?comm_batching ?frames ?log_space_limit ?read_only_optimization ())
   in
   { engine; net; node_list }
 

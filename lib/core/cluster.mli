@@ -7,13 +7,15 @@ type t
     lossless network. [?profile] applies the same architecture profile
     and [?group_commit] the same force-batching configuration (see
     {!Node.create}) to every node, as does [?checkpointing] for the
-    background checkpoint daemon. *)
+    background checkpoint daemon and [?comm_batching] for the
+    Communication Managers' comm-batching layer. *)
 val create :
   ?cost_model:Tabs_sim.Cost_model.t ->
   ?seed:int ->
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
+  ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

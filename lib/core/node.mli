@@ -31,7 +31,13 @@ type t
     fuzzy checkpoints, trickled page write-back, and background log
     reclamation, anchoring restart recovery at the last checkpoint. Off
     by default for the same reason as [?group_commit]. The setting
-    survives {!crash}/{!restart}. *)
+    survives {!crash}/{!restart}.
+
+    [?comm_batching] enables the Communication Manager's comm-batching
+    layer ({!Tabs_net.Comm_mgr.batching}): piggybacked/delayed session
+    acks and datagram coalescing. Off by default for the same reason as
+    [?group_commit]. The setting survives {!crash}/{!restart} (each new
+    incarnation starts with empty batches). *)
 val create :
   Tabs_sim.Engine.t ->
   Tabs_net.Network.t ->
@@ -39,6 +45,7 @@ val create :
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
+  ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

@@ -16,13 +16,31 @@
     the local portion of the commit spanning tree: the node's parent,
     whether the transaction was initiated remotely, and the node's
     children (Section 3.2.4). A Communication Manager instance is
-    volatile: create a fresh one when the node restarts. *)
+    volatile: create a fresh one when the node restarts.
+
+    {2 Comm batching}
+
+    With {!create}'s [batching] set, the Communication Manager batches
+    its wire traffic (off by default, leaving the paper-faithful
+    behaviour untouched):
+
+    - {e piggybacked acks} — an outgoing frame to a peer carries the
+      receiver's cumulative acknowledgement for the reverse session
+      stream; standalone acks are delayed up to [ack_delay] so several
+      deliveries share one acknowledgement;
+    - {e datagram coalescing} — frames queued to the same peer within
+      [flush_delay] (or until [max_frames]/[max_bytes]) travel as one
+      multi-frame wire message charged a single Datagram primitive plus
+      a small {!Tabs_sim.Cost_model.Coalesced_frame} increment per
+      extra datagram-class frame. *)
 
 type t
 
 (** Trace events: one per session-window retransmission (with the
-    attempt number and the backed-off [rto] that expired) and one when a
-    stream is declared permanently failed. *)
+    attempt number, the number of frames resent this burst-capped round,
+    and the backed-off [rto] that expired); one when a stream is
+    declared permanently failed; and one per departing batched wire
+    message. *)
 type Tabs_sim.Trace.event +=
   | Session_retransmit of {
       node : int;
@@ -32,22 +50,61 @@ type Tabs_sim.Trace.event +=
       rto : int;
     }
   | Session_failure of { node : int; peer : int }
+  | Comm_batch of {
+      node : int;
+      peer : int;
+      frames : int;
+      control : int;
+      piggybacked_ack : bool;
+    }
+
+(** Comm-batching parameters, all in microseconds of virtual time /
+    counts: [ack_delay] is how long a delivery acknowledgement may wait
+    for an outgoing frame to ride; [flush_delay] is how long a queued
+    frame may wait for companions; a batch departs early at [max_frames]
+    frames or [max_bytes] nominal bytes. *)
+type batching = {
+  ack_delay : int;
+  flush_delay : int;
+  max_frames : int;
+  max_bytes : int;
+}
+
+val default_batching : batching
+
+(** Per-peer wire accounting (see {!Tabs_sim.Metrics.msgs} for the
+    engine-global mirror). *)
+type peer_stats = {
+  mutable wire_messages : int;
+  mutable carried_frames : int;
+  mutable piggybacked_acks : int;
+  mutable delayed_acks : int;
+  mutable duplicate_reacks : int;
+}
 
 (** [session_rto] is the base retransmission timeout. Each barren
     retransmission round doubles the timeout (exponential backoff) up to
     [session_rto_max] (default [8 * session_rto]); an acknowledgement
     that makes progress resets it to the base. After [session_retries]
-    barren rounds the stream is declared permanently failed. *)
+    barren rounds the stream is declared permanently failed.
+    [session_resend_burst] (default 8) caps how many unacked frames a
+    single retransmission round puts back on the wire. [batching]
+    enables the comm-batching layer; omitted means off. *)
 val create :
   Network.t ->
   node:int ->
   ?session_rto:int ->
   ?session_rto_max:int ->
   ?session_retries:int ->
+  ?session_resend_burst:int ->
+  ?batching:batching ->
   unit ->
   t
 
 val node : t -> int
+
+(** [batching t] is the batching configuration, if enabled. *)
+val batching : t -> batching option
 
 (** [shutdown t] silences this incarnation (crash). *)
 val shutdown : t -> unit
@@ -55,13 +112,15 @@ val shutdown : t -> unit
 (** {2 Datagrams} *)
 
 (** [send_datagram t ~dest payload] charges one datagram primitive and
-    transmits. Must run inside a fiber. *)
+    transmits (with batching on, the frame instead joins [dest]'s batch
+    and the flush pays the coalesced cost). Must run inside a fiber. *)
 val send_datagram : t -> dest:int -> Network.payload -> unit
 
 (** [send_datagrams_parallel t ~dests payload] sends to several nodes at
     once: the first send is charged in full and each additional one at
     half cost, per the Table 5-3 accounting of parallel Prepare/Commit
-    datagrams. *)
+    datagrams. With batching on, each destination's frame joins that
+    peer's batch instead. *)
 val send_datagrams_parallel : t -> dests:int list -> Network.payload -> unit
 
 (** [add_datagram_handler t f] appends a receive handler; each handler
@@ -92,6 +151,16 @@ val set_failure_handler : t -> (peer:int -> unit) -> unit
 val broadcast : t -> Network.payload -> unit
 
 val set_broadcast_handler : t -> (src:int -> Network.payload -> unit) -> unit
+
+(** {2 Wire accounting} *)
+
+(** [peer_wire_stats t ~peer] is this incarnation's live traffic
+    counters towards [peer], if any traffic has flowed. *)
+val peer_wire_stats : t -> peer:int -> peer_stats option
+
+(** [total_wire_messages t] sums {!peer_stats.wire_messages} over all
+    peers of this incarnation. *)
+val total_wire_messages : t -> int
 
 (** {2 Commit spanning tree} *)
 

@@ -109,6 +109,18 @@ let inspect (ev : Trace.event) =
         name = "session_failure";
         fields = [ ("node", Int e.node); ("peer", Int e.peer) ];
       }
+  | Comm_mgr.Comm_batch e ->
+      {
+        name = "comm_batch";
+        fields =
+          [
+            ("node", Int e.node);
+            ("peer", Int e.peer);
+            ("frames", Int e.frames);
+            ("control", Int e.control);
+            ("piggybacked_ack", Int (if e.piggybacked_ack then 1 else 0));
+          ];
+      }
   (* recovery manager *)
   | Group_commit.Group_commit e ->
       {

@@ -8,6 +8,7 @@ type primitive =
   | Random_paged_io
   | Sequential_read
   | Stable_storage_write
+  | Coalesced_frame
 
 let all =
   [
@@ -20,6 +21,7 @@ let all =
     Random_paged_io;
     Sequential_read;
     Stable_storage_write;
+    Coalesced_frame;
   ]
 
 let index = function
@@ -32,8 +34,9 @@ let index = function
   | Random_paged_io -> 6
   | Sequential_read -> 7
   | Stable_storage_write -> 8
+  | Coalesced_frame -> 9
 
-let count = 9
+let count = 10
 
 let name = function
   | Data_server_call -> "Data Server Call"
@@ -45,6 +48,7 @@ let name = function
   | Random_paged_io -> "Random Access Paged I/O"
   | Sequential_read -> "Sequential Read"
   | Stable_storage_write -> "Stable Storage Write"
+  | Coalesced_frame -> "Coalesced Extra Frame"
 
 type t = int array
 
@@ -55,7 +59,12 @@ let make assoc =
   List.iter (fun (p, c) -> t.(index p) <- c) assoc;
   t
 
-(* Table 5-1, milliseconds -> microseconds. *)
+(* Table 5-1, milliseconds -> microseconds. [Coalesced_frame] is our
+   extension, not a paper row: the marginal Communication Manager cost
+   of one additional frame riding an already-charged datagram. The
+   paper's 11.6 ms/datagram CM cost is mostly per-message protocol
+   work, so the marginal frame is priced like copying one more small
+   message, well under a tenth of the full datagram. *)
 let measured =
   make
     [
@@ -68,6 +77,7 @@ let measured =
       (Random_paged_io, 32_000);
       (Sequential_read, 16_000);
       (Stable_storage_write, 79_000);
+      (Coalesced_frame, 2_000);
     ]
 
 (* Table 5-5. *)
@@ -83,6 +93,7 @@ let achievable =
       (Random_paged_io, 32_000);
       (Sequential_read, 10_000);
       (Stable_storage_write, 32_000);
+      (Coalesced_frame, 400);
     ]
 
 let to_alist t = List.map (fun p -> (p, cost t p)) all

@@ -5,7 +5,8 @@
     projects improvements from an "achievable" cost table (Table 5-5).
     Times are kept in integer microseconds of virtual time. *)
 
-(** The nine primitive operations of Table 5-1. *)
+(** The nine primitive operations of Table 5-1, plus one extension of
+    ours ({!Coalesced_frame}) used by the comm-batching layer. *)
 type primitive =
   | Data_server_call  (** local RPC from application to data server *)
   | Inter_node_data_server_call  (** session-based remote RPC *)
@@ -16,8 +17,12 @@ type primitive =
   | Random_paged_io  (** demand-paged random disk read or read/write *)
   | Sequential_read  (** sequential demand-paged disk read *)
   | Stable_storage_write  (** force of one log page to stable storage *)
+  | Coalesced_frame
+      (** marginal cost of one extra frame riding a coalesced datagram
+          (our extension — not a Table 5-1 row; see
+          {!Tabs_net.Comm_mgr}) *)
 
-(** All primitives, in Table 5-1 order. *)
+(** All primitives, in Table 5-1 order ({!Coalesced_frame} last). *)
 val all : primitive list
 
 val name : primitive -> string

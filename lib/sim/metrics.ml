@@ -8,7 +8,31 @@
    cost nothing but are counted so runs can attribute what the
    architecture removed. *)
 
-type t = { charged : int array; elided : int array }
+(* [msgs] counts wire-level Communication Manager traffic: every
+   network transmission a CM pays for is one wire message, carrying one
+   or more frames (more than one only when the comm-batching layer
+   coalesces). The ack counters attribute what batching saved. *)
+
+type msgs = {
+  mutable wire_messages : int; (* transmissions sent by CMs *)
+  mutable carried_frames : int; (* frames those transmissions carried *)
+  mutable piggybacked_acks : int; (* acks that rode an outgoing frame *)
+  mutable delayed_acks : int; (* standalone acks sent after the ack window *)
+  mutable ack_deliveries_covered : int; (* deliveries those acks covered *)
+  mutable duplicate_reacks : int; (* re-acks triggered by duplicate frames *)
+}
+
+type t = { charged : int array; elided : int array; msgs : msgs }
+
+let zero_msgs () =
+  {
+    wire_messages = 0;
+    carried_frames = 0;
+    piggybacked_acks = 0;
+    delayed_acks = 0;
+    ack_deliveries_covered = 0;
+    duplicate_reacks = 0;
+  }
 
 let scale = 1000
 
@@ -21,7 +45,20 @@ let idx p =
   in
   find 0 Cost_model.all
 
-let create () = { charged = Array.make size 0; elided = Array.make size 0 }
+let create () =
+  { charged = Array.make size 0; elided = Array.make size 0; msgs = zero_msgs () }
+
+let msgs t = t.msgs
+
+let copy_msgs m =
+  {
+    wire_messages = m.wire_messages;
+    carried_frames = m.carried_frames;
+    piggybacked_acks = m.piggybacked_acks;
+    delayed_acks = m.delayed_acks;
+    ack_deliveries_covered = m.ack_deliveries_covered;
+    duplicate_reacks = m.duplicate_reacks;
+  }
 
 let record_weighted t p ~num ~den =
   if den <= 0 then invalid_arg "Metrics.record_weighted: den <= 0";
@@ -43,14 +80,39 @@ let elided_weight t p = float_of_int t.elided.(idx p) /. float_of_int scale
 
 let reset t =
   Array.fill t.charged 0 size 0;
-  Array.fill t.elided 0 size 0
+  Array.fill t.elided 0 size 0;
+  let m = t.msgs in
+  m.wire_messages <- 0;
+  m.carried_frames <- 0;
+  m.piggybacked_acks <- 0;
+  m.delayed_acks <- 0;
+  m.ack_deliveries_covered <- 0;
+  m.duplicate_reacks <- 0
 
-let snapshot t = { charged = Array.copy t.charged; elided = Array.copy t.elided }
+let snapshot t =
+  {
+    charged = Array.copy t.charged;
+    elided = Array.copy t.elided;
+    msgs = copy_msgs t.msgs;
+  }
 
 let diff ~later ~earlier =
   {
     charged = Array.init size (fun i -> later.charged.(i) - earlier.charged.(i));
     elided = Array.init size (fun i -> later.elided.(i) - earlier.elided.(i));
+    msgs =
+      {
+        wire_messages = later.msgs.wire_messages - earlier.msgs.wire_messages;
+        carried_frames = later.msgs.carried_frames - earlier.msgs.carried_frames;
+        piggybacked_acks =
+          later.msgs.piggybacked_acks - earlier.msgs.piggybacked_acks;
+        delayed_acks = later.msgs.delayed_acks - earlier.msgs.delayed_acks;
+        ack_deliveries_covered =
+          later.msgs.ack_deliveries_covered
+          - earlier.msgs.ack_deliveries_covered;
+        duplicate_reacks =
+          later.msgs.duplicate_reacks - earlier.msgs.duplicate_reacks;
+      };
   }
 
 let weighted_cost t model =

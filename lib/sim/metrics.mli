@@ -6,7 +6,27 @@
 
 type t
 
+(** Wire-level message counters, kept by the Communication Managers:
+    every network transmission a CM pays for is one wire message
+    carrying one or more frames (more than one only under the
+    comm-batching layer's datagram coalescing). The ack counters
+    attribute the messages piggybacking and delayed acks removed, and
+    {!msgs.duplicate_reacks} counts re-acks provoked by duplicate
+    deliveries. Mutate only from {!Tabs_net.Comm_mgr}. *)
+type msgs = {
+  mutable wire_messages : int;
+  mutable carried_frames : int;
+  mutable piggybacked_acks : int;
+  mutable delayed_acks : int;
+  mutable ack_deliveries_covered : int;
+  mutable duplicate_reacks : int;
+}
+
 val create : unit -> t
+
+(** [msgs t] is the live message-counter block (shared mutable state;
+    {!snapshot} and {!diff} copy it). *)
+val msgs : t -> msgs
 
 (** [record t p] counts one execution of primitive [p]. *)
 val record : t -> Cost_model.primitive -> unit

@@ -82,6 +82,8 @@ type t = {
   checkpoint_interval : int;
       (* commits between the checkpoints this TM asks of the RM *)
   mutable commits_since_checkpoint : int;
+  mutable distributed_commits : int;
+      (* committed tree 2PC rounds this TM coordinated (bench accounting) *)
   mutable next_seq : int;
   servers : (string, server_callbacks) Hashtbl.t;
   joined : (Tid.t, string list ref) Hashtbl.t; (* top tid -> local servers *)
@@ -96,6 +98,8 @@ type t = {
 let node t = t.node_id
 
 let profile t = t.profile
+
+let distributed_commits t = t.distributed_commits
 
 let register_server t ~name callbacks = Hashtbl.replace t.servers name callbacks
 
@@ -244,7 +248,12 @@ let wait_gather t g =
         g.any_no <- true;
         g.timed_out <- true
 
-(* Outcome distribution down the tree ---------------------------------- *)
+(* Outcome distribution down the tree. Phase-2 COMMIT/ABORT datagrams
+   go through the Communication Manager's datagram path: with comm
+   batching on, verdicts for concurrent transactions headed to the same
+   child coalesce into one wire message there, and the child's Tm_ack
+   rides its next outgoing frame's batch — the commit protocol needs no
+   batching logic of its own. *)
 
 let propagate_outcome t top outcome ~to_nodes =
   match to_nodes with
@@ -348,6 +357,7 @@ let commit_distributed t top =
   else if t.read_only_optimization && (not wrote) && g.all_read_only then begin
     (* Whole tree read-only: one phase suffices; subordinates already
        released their locks when they voted Read_only. *)
+    t.distributed_commits <- t.distributed_commits + 1;
     record_outcome t top Committed;
     if tracing t then
       emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
@@ -359,6 +369,7 @@ let commit_distributed t top =
   else begin
     let lsn = Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top) in
     Recovery_mgr.force_through t.rm lsn;
+    t.distributed_commits <- t.distributed_commits + 1;
     record_outcome t top Committed;
     if tracing t then
       emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
@@ -643,6 +654,7 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
       read_only_optimization;
       checkpoint_interval;
       commits_since_checkpoint = 0;
+      distributed_commits = 0;
       (* Transaction identifiers must be globally unique across crashes:
          remote nodes keep completed-transaction state keyed by tid, so
          a restarted Transaction Manager must never reissue a pre-crash

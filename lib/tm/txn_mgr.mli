@@ -134,6 +134,11 @@ val node : t -> int
 
 val profile : t -> Tabs_sim.Profile.t
 
+(** [distributed_commits t] counts the committed tree two-phase-commit
+    rounds this Transaction Manager coordinated (benchmark
+    accounting, e.g. wire messages per remote commit). *)
+val distributed_commits : t -> int
+
 (** [register_server t ~name callbacks] — data servers announce
     themselves so the Transaction Manager knows whom to inform at
     completion. *)
