@@ -66,6 +66,8 @@ let recovery () = Tabs_bench.Recovery.print_recovery ()
 
 let messages () = Tabs_bench.Messages.print_messages ()
 
+let scaleout () = Tabs_bench.Scaleout.print_scaleout ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -133,6 +135,7 @@ let sections =
     ("group-commit", group_commit);
     ("recovery", recovery);
     ("messages", messages);
+    ("scaleout", scaleout);
     ("shapes", shapes);
   ]
 

@@ -387,6 +387,60 @@ let run_stats profile group_commit checkpointing comm_batching topts index =
     0
   end
 
+(* scaleout ------------------------------------------------------------------- *)
+
+let run_scaleout profile group_commit checkpointing comm_batching topts shards
+    theta cross_frac offered_load =
+  let shards = max 1 shards in
+  if theta < 0. || theta >= 1. then begin
+    say "--zipf must be in [0, 1)";
+    1
+  end
+  else begin
+    let config =
+      {
+        Tabs_bench.Generator.default with
+        shards;
+        theta;
+        cross_frac = Float.max 0. (Float.min 1. cross_frac);
+        offered_load = Float.max 1. offered_load;
+      }
+    in
+    say
+      "offering %.0f txn/s to %d shard(s) for %.0f virtual seconds\n\
+       (Zipf theta %.2f over %d keys, %.0f%% cross-shard%s%s)"
+      config.offered_load shards
+      (float_of_int config.horizon /. 1_000_000.)
+      config.theta config.keys
+      (100. *. config.cross_frac)
+      (if group_commit <> None then ", group commit" else "")
+      (if comm_batching <> None then ", comm batching" else "");
+    if trace_enabled topts then
+      say "(note: --trace records the whole open-loop run; expect many events)";
+    (* the generator builds its own cluster, so tracing attaches after *)
+    let stats =
+      Tabs_bench.Generator.run ~profile ?group_commit ?checkpointing
+        ?comm_batching config
+    in
+    say "offered %d, admitted %d, shed %d" stats.offered stats.admitted
+      stats.shed;
+    say "committed %d (%.1f txn/s), aborted %d" stats.committed
+      stats.txn_per_sec stats.aborted;
+    say "  single-shard: %d committed, p50 %d us, p95 %d us"
+      stats.single_committed stats.p50_single_us stats.p95_single_us;
+    if stats.cross_committed > 0 then
+      say
+        "  cross-shard:  %d committed, p50 %d us, p95 %d us (2PC tax: +%d \
+         us at p50; %.1f wire msgs per cross commit)"
+        stats.cross_committed stats.p50_cross_us stats.p95_cross_us
+        (stats.p50_cross_us - stats.p50_single_us)
+        stats.msgs_per_cross_commit;
+    say "per-shard committed: [%s]"
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int stats.per_shard_committed)));
+    0
+  end
+
 (* cmdliner wiring ------------------------------------------------------------- *)
 
 let crash_cmd =
@@ -437,7 +491,52 @@ let stats_cmd =
       const run_stats $ profile_arg $ group_commit_arg $ checkpointing_arg
       $ comm_batch_arg $ trace_arg $ index)
 
+let scaleout_cmd =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of shards (one per node; key ranges spread evenly).")
+  in
+  let theta =
+    Arg.(
+      value
+      & opt float Tabs_bench.Generator.default.theta
+      & info [ "zipf" ] ~docv:"THETA"
+          ~doc:
+            "Zipfian skew of key popularity, in [0, 1): 0 is uniform, 0.99 \
+             is the classic hot-key benchmark setting.")
+  in
+  let cross =
+    Arg.(
+      value
+      & opt float Tabs_bench.Generator.default.cross_frac
+      & info [ "cross-shard" ] ~docv:"FRAC"
+          ~doc:
+            "Fraction of transactions writing on two different shards \
+             (paying tree two-phase commit).")
+  in
+  let load =
+    Arg.(
+      value
+      & opt float Tabs_bench.Generator.default.offered_load
+      & info [ "offered-load" ] ~docv:"TPS"
+          ~doc:
+            "Open-loop Poisson arrival rate, transactions per virtual \
+             second, independent of completions; arrivals beyond the \
+             per-node admission bound are shed and counted.")
+  in
+  Cmd.v
+    (Cmd.info "scaleout"
+       ~doc:"Skewed open-loop workload against a range-sharded deployment")
+    Term.(
+      const run_scaleout $ profile_arg $ group_commit_arg $ checkpointing_arg
+      $ comm_batch_arg $ trace_arg $ shards $ theta $ cross $ load)
+
 let () =
   let doc = "TABS: distributed transactions for reliable systems (SOSP '85)" in
   let info = Cmd.info "tabs-demo" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ crash_cmd; twophase_cmd; voting_cmd; screen_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ crash_cmd; twophase_cmd; voting_cmd; screen_cmd; stats_cmd; scaleout_cmd ]))

@@ -1,26 +1,50 @@
 open Tabs_sim
 open Tabs_net
 
-type t = { engine : Engine.t; net : Network.t; node_list : Node.t list }
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  node_arr : Node.t array;
+  topology : Topology.t;
+  placement : Placement.t;
+}
 
 let create ?cost_model ?(seed = 1) ?profile ?group_commit ?checkpointing
-    ?comm_batching ?frames ?log_space_limit ?read_only_optimization ~nodes () =
+    ?comm_batching ?frames ?log_space_limit ?read_only_optimization ?topology
+    ~nodes () =
+  let topology =
+    match topology with
+    | Some topo -> topo
+    | None -> Topology.one_per_node ~shards:nodes
+  in
+  let nodes = max nodes (Topology.nodes_required topology) in
   let engine = Engine.create ?cost_model () in
   let net = Network.create engine ~seed in
-  let node_list =
-    List.init nodes (fun id ->
+  let node_arr =
+    Array.init nodes (fun id ->
         Node.create engine net ~id ?profile ?group_commit ?checkpointing
           ?comm_batching ?frames ?log_space_limit ?read_only_optimization ())
   in
-  { engine; net; node_list }
+  { engine; net; node_arr; topology; placement = Placement.create topology }
 
 let engine t = t.engine
 
 let network t = t.net
 
-let node t id = List.nth t.node_list id
+let node t id =
+  if id < 0 || id >= Array.length t.node_arr then
+    invalid_arg (Printf.sprintf "Cluster.node: no node %d" id);
+  t.node_arr.(id)
 
-let nodes t = t.node_list
+let nodes t = Array.to_list t.node_arr
+
+let node_count t = Array.length t.node_arr
+
+let topology t = t.topology
+
+let placement t = t.placement
+
+let shard_node t shard = node t (Topology.node_of_shard t.topology shard)
 
 let run t = ignore (Engine.run t.engine)
 
@@ -30,8 +54,28 @@ let spawn t ~node f = ignore (Engine.spawn t.engine ~node f)
 
 let run_fiber t ~node f =
   let result = ref None in
-  ignore (Engine.spawn t.engine ~node (fun () -> result := Some (f ())));
+  let started = ref false in
+  let epoch0 = Engine.node_epoch t.engine node in
+  ignore
+    (Engine.spawn t.engine ~node (fun () ->
+         started := true;
+         result := Some (f ())));
   ignore (Engine.run t.engine);
   match !result with
   | Some v -> v
-  | None -> failwith "Cluster.run_fiber: fiber did not complete"
+  | None ->
+      if Engine.node_epoch t.engine node <> epoch0 then
+        raise (Errors.Fiber_killed { node })
+      else if not !started then
+        raise
+          (Errors.Fiber_stalled
+             { node; reason = "never scheduled (spawned on a crashed node?)" })
+      else
+        raise
+          (Errors.Fiber_stalled
+             {
+               node;
+               reason =
+                 "suspended on a wait queue at quiescence (deadlocked \
+                  scenario: nothing left to signal it)";
+             })

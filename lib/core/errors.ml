@@ -5,3 +5,7 @@ exception Server_error of string
 exception Lock_timeout of Tabs_wal.Object_id.t
 
 exception Deadlock of Tabs_wal.Object_id.t
+
+exception Fiber_killed of { node : int }
+
+exception Fiber_stalled of { node : int; reason : string }

@@ -19,3 +19,13 @@ exception Lock_timeout of Tabs_wal.Object_id.t
     distinct so abort accounting can tell a proven deadlock from a
     timeout. *)
 exception Deadlock of Tabs_wal.Object_id.t
+
+(** Raised by {!Cluster.run_fiber} when the driven fiber was killed by a
+    crash of its node before completing. *)
+exception Fiber_killed of { node : int }
+
+(** Raised by {!Cluster.run_fiber} when the simulation went quiescent
+    with the driven fiber unfinished: either it never ran at all, or it
+    is suspended on a wait queue nobody will ever signal (a deadlock in
+    the scenario being driven). [reason] says which. *)
+exception Fiber_stalled of { node : int; reason : string }

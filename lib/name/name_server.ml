@@ -9,6 +9,7 @@ type Network.payload +=
 
 type pending = {
   query_name : string;
+  enough : entry list -> bool;
   mutable collected : entry list;
   signal : unit Engine.Waitq.t;
 }
@@ -36,16 +37,23 @@ let deregister t ~name ~server =
 
 let local_entries t = t.table
 
-let lookup t ~name ?(desired = 1) ?(max_wait = 500_000) () =
+(* Generalized lookup: collect matching entries (local table first, then
+   a broadcast round) until [enough] is satisfied or [max_wait] passes.
+   The count-based [lookup] and the placement-aware [lookup_owner] are
+   both instances of this. *)
+let lookup_until t ~name ~enough ~max_wait () =
   let local = local_matches t name in
-  if List.length local >= desired then local
+  if enough local then local
   else begin
-    let p = { query_name = name; collected = local; signal = Engine.Waitq.create () } in
+    let p =
+      { query_name = name; enough; collected = local;
+        signal = Engine.Waitq.create () }
+    in
     t.pending <- p :: t.pending;
     Comm_mgr.broadcast t.cm (Ns_query { name });
     let deadline = Engine.now t.engine + max_wait in
     let rec wait () =
-      if List.length p.collected < desired then begin
+      if not (p.enough p.collected) then begin
         let remaining = deadline - Engine.now t.engine in
         if remaining > 0 then
           match
@@ -59,6 +67,41 @@ let lookup t ~name ?(desired = 1) ?(max_wait = 500_000) () =
     t.pending <- List.filter (fun q -> q != p) t.pending;
     p.collected
   end
+
+let lookup t ~name ?(desired = 1) ?(max_wait = 500_000) () =
+  lookup_until t ~name
+    ~enough:(fun entries -> List.length entries >= desired)
+    ~max_wait ()
+
+(* Key-range placement entries: the object id carries the owned key
+   range, so directory lookups can answer "who owns key k of keyspace
+   X?" without a separate placement service. *)
+
+let range_object_id ~lo ~hi = Printf.sprintf "range:%d:%d" lo hi
+
+let range_of_entry (e : entry) =
+  match String.split_on_char ':' e.object_id with
+  | [ "range"; lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None)
+  | _ -> None
+
+let register_range t ~name ~server ~lo ~hi =
+  register t ~name ~server ~object_id:(range_object_id ~lo ~hi)
+
+let entry_covers key e =
+  match range_of_entry e with
+  | Some (lo, hi) -> lo <= key && key < hi
+  | None -> false
+
+let lookup_owner t ~name ~key ?(max_wait = 500_000) () =
+  let entries =
+    lookup_until t ~name
+      ~enough:(fun entries -> List.exists (entry_covers key) entries)
+      ~max_wait ()
+  in
+  List.find_opt (entry_covers key) entries
 
 let handle_query t ~src name =
   let matches = local_matches t name in

@@ -33,3 +33,28 @@ val lookup :
 
 (** [local_entries t] lists this node's registrations (for tests). *)
 val local_entries : t -> entry list
+
+(** {2 Placement-aware lookups}
+
+    A sharded keyspace advertises each shard's slice through the
+    directory: every shard instance registers under the keyspace's
+    {e logical} name with an object id that encodes the owned key range,
+    so any node can resolve "who owns key [k] of keyspace [n]?" with an
+    ordinary directory lookup — no separate placement service. *)
+
+(** [range_object_id ~lo ~hi] encodes ownership of keys [lo <= k < hi]. *)
+val range_object_id : lo:int -> hi:int -> string
+
+(** [range_of_entry e] decodes an entry's key range, if it has one. *)
+val range_of_entry : entry -> (int * int) option
+
+(** [register_range t ~name ~server ~lo ~hi] publishes a local binding
+    that owns keys [lo <= k < hi] of keyspace [name]. *)
+val register_range : t -> name:string -> server:string -> lo:int -> hi:int -> unit
+
+(** [lookup_owner t ~name ~key ()] finds the binding whose key range
+    covers [key], consulting the local table first and broadcasting on a
+    miss. [None] after [max_wait] microseconds without a covering reply.
+    Must run inside a fiber. *)
+val lookup_owner :
+  t -> name:string -> key:int -> ?max_wait:int -> unit -> entry option

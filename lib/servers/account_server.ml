@@ -78,6 +78,21 @@ let deposit t tid i amount =
   let old_value = decode_slot (Server_lib.read_object t.server obj) in
   apply_adjustment t tid [ (i, old_value, old_value + amount) ]
 
+(* The debit half of a cross-server transfer: like [deposit] of a
+   negative amount, but with the funds check [transfer] performs — so a
+   sharded transfer (withdraw on one shard, deposit on another, one
+   atomic transaction) keeps the invariant that no committed balance
+   goes negative. *)
+let withdraw t tid i amount =
+  Server_lib.enter_operation t.server tid;
+  check_range t i;
+  if amount < 0 then raise (Errors.Server_error "NegativeAmount");
+  let obj = account_obj t i in
+  Server_lib.lock_object t.server tid obj Mode.Write;
+  let old_value = decode_slot (Server_lib.read_object t.server obj) in
+  if old_value < amount then raise (Errors.Server_error "InsufficientFunds");
+  apply_adjustment t tid [ (i, old_value, old_value - amount) ]
+
 let transfer t tid ~from_ ~to_ amount =
   Server_lib.enter_operation t.server tid;
   check_range t from_;
@@ -178,6 +193,11 @@ let dispatch t ~tid ~op ~arg =
       let amount = Codec.Reader.int r in
       credit t tid i amount;
       ""
+  | "withdraw" ->
+      let i = Codec.Reader.int r in
+      let amount = Codec.Reader.int r in
+      withdraw t tid i amount;
+      ""
   | "transfer" ->
       let from_ = Codec.Reader.int r in
       let to_ = Codec.Reader.int r in
@@ -205,6 +225,10 @@ let call_balance rpc ~dest ~server tid i =
 
 let call_deposit rpc ~dest ~server tid i amount =
   ignore (Rpc.call rpc ~dest ~server ~tid ~op:"deposit" ~arg:(encode_int2 i amount))
+
+let call_withdraw rpc ~dest ~server tid i amount =
+  ignore
+    (Rpc.call rpc ~dest ~server ~tid ~op:"withdraw" ~arg:(encode_int2 i amount))
 
 let call_transfer rpc ~dest ~server tid ~from_ ~to_ amount =
   ignore

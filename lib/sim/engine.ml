@@ -141,12 +141,21 @@ let record_only t prim = Metrics.record t.metrics prim
 
 let elide t prim = Metrics.record_elided t.metrics prim
 
+(* Per-node rollup: charges paid inside a node-bound fiber are also
+   attributed to that node (observational only — no cost, no delay). *)
+let attribute t prim ~num ~den =
+  match fiber_node () with
+  | Some node -> Metrics.record_node t.metrics ~node prim ~num ~den
+  | None -> ()
+
 let charge t prim =
   record_only t prim;
+  attribute t prim ~num:1 ~den:1;
   delay (Cost_model.cost t.model prim)
 
 let charge_fraction t prim ~num ~den =
   Metrics.record_weighted t.metrics prim ~num ~den;
+  attribute t prim ~num ~den;
   delay (Cost_model.cost t.model prim * num / den)
 
 let cpu_counter t process =

@@ -22,7 +22,16 @@ type msgs = {
   mutable duplicate_reacks : int; (* re-acks triggered by duplicate frames *)
 }
 
-type t = { charged : int array; elided : int array; msgs : msgs }
+(* [per_node] rolls the charged counters up by the node of the fiber
+   that paid them (scale-out benches report per-shard load from it).
+   Purely observational: entries appear lazily, and nothing reads them
+   on the seed paths. *)
+type t = {
+  charged : int array;
+  elided : int array;
+  msgs : msgs;
+  per_node : (int, int array) Hashtbl.t;
+}
 
 let zero_msgs () =
   {
@@ -46,7 +55,12 @@ let idx p =
   find 0 Cost_model.all
 
 let create () =
-  { charged = Array.make size 0; elided = Array.make size 0; msgs = zero_msgs () }
+  {
+    charged = Array.make size 0;
+    elided = Array.make size 0;
+    msgs = zero_msgs ();
+    per_node = Hashtbl.create 8;
+  }
 
 let msgs t = t.msgs
 
@@ -63,6 +77,27 @@ let copy_msgs m =
 let record_weighted t p ~num ~den =
   if den <= 0 then invalid_arg "Metrics.record_weighted: den <= 0";
   t.charged.(idx p) <- t.charged.(idx p) + (scale * num / den)
+
+let node_counters t node =
+  match Hashtbl.find_opt t.per_node node with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make size 0 in
+      Hashtbl.add t.per_node node arr;
+      arr
+
+let record_node t ~node p ~num ~den =
+  if den <= 0 then invalid_arg "Metrics.record_node: den <= 0";
+  let arr = node_counters t node in
+  arr.(idx p) <- arr.(idx p) + (scale * num / den)
+
+let node_weight t ~node p =
+  match Hashtbl.find_opt t.per_node node with
+  | None -> 0.
+  | Some arr -> float_of_int arr.(idx p) /. float_of_int scale
+
+let nodes_tracked t =
+  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.per_node [])
 
 let record_many t p n = record_weighted t p ~num:n ~den:1
 
@@ -81,6 +116,7 @@ let elided_weight t p = float_of_int t.elided.(idx p) /. float_of_int scale
 let reset t =
   Array.fill t.charged 0 size 0;
   Array.fill t.elided 0 size 0;
+  Hashtbl.reset t.per_node;
   let m = t.msgs in
   m.wire_messages <- 0;
   m.carried_frames <- 0;
@@ -90,14 +126,28 @@ let reset t =
   m.duplicate_reacks <- 0
 
 let snapshot t =
+  let per_node = Hashtbl.create (Hashtbl.length t.per_node) in
+  Hashtbl.iter (fun n arr -> Hashtbl.replace per_node n (Array.copy arr)) t.per_node;
   {
     charged = Array.copy t.charged;
     elided = Array.copy t.elided;
     msgs = copy_msgs t.msgs;
+    per_node;
   }
 
 let diff ~later ~earlier =
+  let per_node = Hashtbl.create (Hashtbl.length later.per_node) in
+  Hashtbl.iter
+    (fun n arr ->
+      let base =
+        match Hashtbl.find_opt earlier.per_node n with
+        | Some b -> b
+        | None -> Array.make size 0
+      in
+      Hashtbl.replace per_node n (Array.init size (fun i -> arr.(i) - base.(i))))
+    later.per_node;
   {
+    per_node;
     charged = Array.init size (fun i -> later.charged.(i) - earlier.charged.(i));
     elided = Array.init size (fun i -> later.elided.(i) - earlier.elided.(i));
     msgs =

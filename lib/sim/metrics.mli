@@ -62,6 +62,26 @@ val elided_count : t -> Cost_model.primitive -> int
 
 val elided_weight : t -> Cost_model.primitive -> float
 
+(** {2 Per-node rollup}
+
+    The charged counters are additionally rolled up by the node of the
+    fiber that paid them (when known), so scale-out benches can report
+    per-shard load without perturbing the engine-global accounting.
+    Attribution happens in {!Engine.charge}/{!Engine.charge_fraction};
+    nothing on the seed paths reads these counters. *)
+
+(** [record_node t ~node p ~num ~den] counts num/den of one execution of
+    [p] against [node]'s rollup (the global counters are unaffected —
+    callers record those separately). *)
+val record_node : t -> node:int -> Cost_model.primitive -> num:int -> den:int -> unit
+
+(** [node_weight t ~node p] is [node]'s accumulated execution weight of
+    [p]; 0 for nodes never charged. *)
+val node_weight : t -> node:int -> Cost_model.primitive -> float
+
+(** [nodes_tracked t] lists node ids with any attributed executions. *)
+val nodes_tracked : t -> int list
+
 (** [reset t] zeroes every counter. *)
 val reset : t -> unit
 

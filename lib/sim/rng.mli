@@ -20,3 +20,19 @@ val bool : t -> p:float -> bool
 
 (** [split t] derives an independent generator. *)
 val split : t -> t
+
+(** Zipfian key popularity over [0, n) — the standard quick generator
+    (Gray et al.; the one YCSB uses). Rank 0 is the hottest key.
+    [theta] in [0, 1) tunes the skew: 0 is uniform, 0.99 is the classic
+    heavily-skewed benchmark setting. Construction is O(n) (it
+    precomputes the zeta normalizer); sampling is O(1). *)
+module Zipf : sig
+  type rng := t
+
+  type t
+
+  val create : n:int -> theta:float -> t
+
+  (** [sample t rng] draws a key rank in [0, n). *)
+  val sample : t -> rng -> int
+end
