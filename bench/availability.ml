@@ -1,0 +1,220 @@
+(* Availability under coordinator failure: survivor throughput while
+   the coordinator node crash-loops, Two-phase commit vs. Paxos Commit.
+
+   Four nodes. Node 3 is the victim: whenever it is up it fires
+   distributed transactions that write the single hot cell on every
+   other node, and it is crashed as soon as one of those transactions
+   has a survivor prepared and in doubt — the worst possible moment —
+   then stays down for most of each loop iteration. Nodes 0-2 are the
+   survivors (and, in the Paxos arm, the 2F+1 = 3 acceptors): each
+   runs an open loop of short local transactions against its own copy
+   of the hot cell.
+
+   When the victim dies between prepare and verdict, the survivors'
+   prepared transactions keep their write locks on the hot cell, so
+   every survivor's local traffic stops dead. Under Two_phase those
+   locks stay held until a status query happens to land inside one of
+   the victim's brief up-windows — with a 300 ms up-window against a
+   3 s query period, most of the down-window is dead time and survivor
+   commits collapse. Under Paxos the acceptor watchdogs run a takeover
+   ballot ~2.5-4.5 s after the crash and release the survivors with
+   the victim still down.
+
+   The score for each arm is the survivors' committed-transaction
+   count during the crash-loop window, next to a healthy-warmup
+   baseline from the same configuration. CI asserts the Paxos
+   crash-loop count is at least 5x the Two_phase one. *)
+
+open Tabs_sim
+open Tabs_core
+open Tabs_servers
+
+let nodes = 4
+
+let hot_cell = 0
+
+let warmup_start = 1_000_000 (* survivors settled *)
+
+let warmup_end = 11_000_000 (* 10 s healthy baseline *)
+
+let crashloop_end = 131_000_000 (* 120 s crash-loop window *)
+
+let up_window = 300_000 (* victim alive this long per iteration *)
+
+let down_window = 12_000_000 (* ... then dead this long *)
+
+let server_name id = Printf.sprintf "a%d" id
+
+type arm_stats = {
+  label : string;
+  baseline : int; (* survivor commits in the healthy window *)
+  crashloop : int; (* survivor commits while the victim crash-loops *)
+  attempts : int; (* survivor attempts during the crash-loop window *)
+  incidents : int; (* victim crashes inflicted *)
+}
+
+let run_arm ~label ~commit_protocol ~seed =
+  let c = Cluster.create ~nodes ~seed ~commit_protocol () in
+  let holders =
+    Array.map
+      (fun node ->
+        ref
+          (Int_array_server.create (Node.env node)
+             ~name:(server_name (Node.id node))
+             ~segment:1 ~cells:16 ()))
+      (Array.of_list (Cluster.nodes c))
+  in
+  let engine = Cluster.engine c in
+  let commits = ref 0 and attempts = ref 0 and incidents = ref 0 in
+  (* survivors: open loop of short local writes to the hot cells *)
+  List.iter
+    (fun node ->
+      let id = Node.id node in
+      if id < 3 then
+        Cluster.spawn c ~node:id (fun () ->
+            let tm = Node.tm node in
+            let i = ref 0 in
+            while Engine.now engine < crashloop_end do
+              incr i;
+              incr attempts;
+              (try
+                 Txn_lib.execute_transaction tm (fun tid ->
+                     Int_array_server.set !(holders.(id)) tid hot_cell !i);
+                 incr commits
+               with
+              | Errors.Lock_timeout _ | Errors.Deadlock _
+              | Errors.Transaction_is_aborted _ ->
+                  ());
+              Engine.delay 10_000
+            done))
+    (Cluster.nodes c);
+  (* victim: bursts of distributed writes on the same hot cells *)
+  let n3 = Cluster.node c 3 in
+  let start_victim_traffic () =
+    Cluster.spawn c ~node:3 (fun () ->
+        let j = ref 0 in
+        while true do
+          incr j;
+          (try
+             Txn_lib.execute_transaction (Node.tm n3) (fun tid ->
+                 for dest = 0 to 2 do
+                   Int_array_server.call_set (Node.rpc n3) ~dest
+                     ~server:(server_name dest) tid hot_cell (1000 + !j)
+                 done)
+           with
+          | Errors.Lock_timeout _ | Errors.Deadlock _
+          | Errors.Transaction_is_aborted _ | Rpc.Rpc_timeout _ ->
+              ());
+          Engine.delay 50_000
+        done)
+  in
+  start_victim_traffic ();
+  (* wait (bounded) for a survivor to be prepared and in doubt on one
+     of the victim's transactions: crashing then is the worst case the
+     commit protocol must absorb *)
+  let await_in_doubt () =
+    let deadline = Engine.now engine + up_window in
+    let someone_in_doubt () =
+      List.exists
+        (fun node ->
+          Node.id node < 3 && Tabs_tm.Txn_mgr.in_doubt (Node.tm node) <> [])
+        (Cluster.nodes c)
+    in
+    while Engine.now engine < deadline && not (someone_in_doubt ()) do
+      Engine.delay 5_000
+    done
+  in
+  (* healthy until [warmup_end], then the crash-loop; driven from a
+     global fiber so it survives the victim's deaths *)
+  ignore
+    (Engine.spawn engine (fun () ->
+         Engine.delay warmup_end;
+         while Engine.now engine < crashloop_end - down_window do
+           await_in_doubt ();
+           Node.crash n3;
+           incr incidents;
+           Engine.delay down_window;
+           ignore
+           @@ Node.restart n3
+                ~reinstall:(fun env ->
+               holders.(3) :=
+                 Int_array_server.create env ~name:(server_name 3) ~segment:1
+                   ~cells:16 ())
+             ~after_recovery:(fun outcome ->
+               Server_lib.relock_in_doubt
+                 (Int_array_server.server !(holders.(3)))
+                 outcome.Tabs_recovery.Recovery_mgr.written_objects)
+             ();
+           start_victim_traffic ()
+         done));
+  Cluster.run_until c ~time:warmup_start;
+  commits := 0;
+  Cluster.run_until c ~time:warmup_end;
+  let baseline = !commits in
+  commits := 0;
+  attempts := 0;
+  Cluster.run_until c ~time:crashloop_end;
+  {
+    label;
+    baseline;
+    crashloop = !commits;
+    attempts = !attempts;
+    incidents = !incidents;
+  }
+
+let json_file = "BENCH_availability.json"
+
+let arm_json oc prefix (s : arm_stats) =
+  Printf.fprintf oc
+    "  \"%s\": {\"baseline_commits\": %d, \"crashloop_commits\": %d, \
+     \"crashloop_attempts\": %d, \"incidents\": %d}"
+    prefix s.baseline s.crashloop s.attempts s.incidents
+
+let write_json two_phase paxos =
+  let oc = open_out json_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"nodes\": %d,\n\
+    \  \"baseline_window_s\": %.0f,\n\
+    \  \"crashloop_window_s\": %.0f,\n\
+    \  \"up_window_ms\": %d,\n\
+    \  \"down_window_s\": %.0f,\n"
+    nodes
+    (float_of_int (warmup_end - warmup_start) /. 1_000_000.)
+    (float_of_int (crashloop_end - warmup_end) /. 1_000_000.)
+    (up_window / 1_000)
+    (float_of_int down_window /. 1_000_000.);
+  arm_json oc "two_phase" two_phase;
+  output_string oc ",\n";
+  arm_json oc "paxos" paxos;
+  Printf.fprintf oc ",\n  \"paxos_over_two_phase\": %.2f\n}\n"
+    (float_of_int paxos.crashloop /. float_of_int (max 1 two_phase.crashloop));
+  close_out oc
+
+let print_availability () =
+  let two_phase =
+    run_arm ~label:"two_phase"
+      ~commit_protocol:Tabs_tm.Commit_protocol.Two_phase ~seed:11
+  in
+  let paxos =
+    run_arm ~label:"paxos"
+      ~commit_protocol:(Tabs_tm.Commit_protocol.Paxos { f = 1 })
+      ~seed:11
+  in
+  Printf.printf
+    "\n\
+     Availability under a coordinator crash-loop (%d s window, up %d ms / \
+     down %d s):\n"
+    ((crashloop_end - warmup_end) / 1_000_000)
+    (up_window / 1_000) (down_window / 1_000_000);
+  Printf.printf "  %-12s %18s %18s %12s %10s\n" "protocol" "baseline commits"
+    "crash-loop commits" "attempts" "incidents";
+  List.iter
+    (fun s ->
+      Printf.printf "  %-12s %18d %18d %12d %10d\n" s.label s.baseline
+        s.crashloop s.attempts s.incidents)
+    [ two_phase; paxos ];
+  Printf.printf "  paxos / two_phase commit ratio during crash-loop: %.2fx\n"
+    (float_of_int paxos.crashloop /. float_of_int (max 1 two_phase.crashloop));
+  write_json two_phase paxos;
+  Printf.printf "  wrote %s\n" json_file

@@ -68,6 +68,8 @@ let messages () = Tabs_bench.Messages.print_messages ()
 
 let scaleout () = Tabs_bench.Scaleout.print_scaleout ()
 
+let availability () = Tabs_bench.Availability.print_availability ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -136,6 +138,7 @@ let sections =
     ("recovery", recovery);
     ("messages", messages);
     ("scaleout", scaleout);
+    ("availability", availability);
     ("shapes", shapes);
   ]
 

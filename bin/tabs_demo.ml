@@ -90,6 +90,32 @@ let comm_batch_arg =
     const (fun on -> if on then Some Tabs_net.Comm_mgr.default_batching else None)
     $ flag)
 
+(* ... and --commit-protocol: blocking two-phase commit (the paper's
+   protocol, the default) or non-blocking Paxos Commit. *)
+let commit_protocol_conv =
+  let parse s =
+    match Tabs_tm.Commit_protocol.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown commit protocol %S (expected 2pc or paxos)" s))
+  in
+  Arg.conv (parse, fun ppf p ->
+      Format.pp_print_string ppf (Tabs_tm.Commit_protocol.to_string p))
+
+let commit_protocol_arg =
+  Arg.(
+    value
+    & opt commit_protocol_conv Tabs_tm.Commit_protocol.default
+    & info [ "commit-protocol" ] ~docv:"PROTOCOL"
+        ~doc:
+          "Distributed commit protocol: $(b,2pc) (the paper's blocking \
+           two-phase commit) or $(b,paxos) (Paxos Commit with 2F+1 = 3 \
+           acceptors on nodes 0-2: prepared participants are released \
+           by an acceptor takeover even while the coordinator is down).")
+
 (* Every subcommand also accepts --trace (human-readable event dump +
    span summary on stdout) and --trace-jsonl FILE (JSON Lines export). *)
 type trace_opts = { dump : bool; jsonl : string option }
@@ -179,11 +205,12 @@ let run_crash profile group_commit checkpointing comm_batching topts =
 
 (* twophase ---------------------------------------------------------------- *)
 
-let run_twophase profile group_commit checkpointing comm_batching topts nodes
-    kill_coordinator =
+let run_twophase profile group_commit checkpointing comm_batching
+    commit_protocol topts nodes kill_coordinator =
   let nodes = max 2 (min 5 nodes) in
   let c = Cluster.create ~nodes ~profile ?group_commit ?checkpointing
-      ?comm_batching () in
+      ?comm_batching ~commit_protocol () in
+  say "commit protocol: %s" (Tabs_tm.Commit_protocol.to_string commit_protocol);
   let tr = start_trace topts c in
   List.iter
     (fun node ->
@@ -231,7 +258,11 @@ let run_twophase profile group_commit checkpointing comm_batching topts nodes
       let id = Node.id node in
       if id > 0 then begin
         let in_doubt = Tabs_tm.Txn_mgr.in_doubt (Node.tm node) in
-        say "node %d: %d transaction(s) in doubt" id (List.length in_doubt)
+        let abandoned = Tabs_tm.Txn_mgr.resolutions_abandoned (Node.tm node) in
+        say "node %d: %d transaction(s) in doubt%s" id (List.length in_doubt)
+          (if abandoned > 0 then
+             Printf.sprintf ", %d resolution(s) abandoned" abandoned
+           else "")
       end)
     (Cluster.nodes c);
   if kill_coordinator then begin
@@ -465,7 +496,7 @@ let twophase_cmd =
     (Cmd.info "twophase" ~doc:"Distributed tree two-phase commit")
     Term.(
       const run_twophase $ profile_arg $ group_commit_arg $ checkpointing_arg
-      $ comm_batch_arg $ trace_arg $ nodes $ kill)
+      $ comm_batch_arg $ commit_protocol_arg $ trace_arg $ nodes $ kill)
 
 let voting_cmd =
   Cmd.v

@@ -26,6 +26,7 @@ val create :
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
+  ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->

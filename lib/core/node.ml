@@ -25,6 +25,7 @@ type t = {
   group_commit : Group_commit.config option;
   checkpointing : Checkpointer.config option;
   comm_batching : Comm_mgr.batching option;
+  commit_protocol : Commit_protocol.t;
   frames : int;
   log_space_limit : int;
   read_only_optimization : bool;
@@ -35,7 +36,7 @@ type t = {
 }
 
 let build_incarnation engine net disk stable ~id ~profile ~group_commit
-    ~checkpointing ~comm_batching ~frames ~log_space_limit
+    ~checkpointing ~comm_batching ~commit_protocol ~frames ~log_space_limit
     ~read_only_optimization =
   let vm = Vm.attach engine disk ~frames ~profile () in
   let log = Log_manager.attach engine stable in
@@ -45,29 +46,33 @@ let build_incarnation engine net disk stable ~id ~profile ~group_commit
   in
   let cm = Comm_mgr.create net ~node:id ?batching:comm_batching () in
   let tm =
-    Txn_mgr.create engine ~node:id ~rm ~cm ~profile ~read_only_optimization ()
+    Txn_mgr.create engine ~node:id ~rm ~cm ~profile ~commit_protocol
+      ~read_only_optimization ()
   in
   let ns = Name_server.create engine ~node:id ~cm in
   let rpc = Rpc.create_registry engine ~node:id ~cm in
   { vm; log; rm; cm; tm; ns; rpc }
 
 let create engine net ~id ?(profile = Profile.Classic) ?group_commit
-    ?checkpointing ?comm_batching ?(frames = 1500)
+    ?checkpointing ?comm_batching
+    ?(commit_protocol = Commit_protocol.default) ?(frames = 1500)
     ?(log_space_limit = 256 * 1024) ?(read_only_optimization = true) () =
   let disk = Disk.create engine in
   let stable = Stable.create () in
   let live =
     build_incarnation engine net disk stable ~id ~profile ~group_commit
-      ~checkpointing ~comm_batching ~frames ~log_space_limit
+      ~checkpointing ~comm_batching ~commit_protocol ~frames ~log_space_limit
       ~read_only_optimization
   in
   { engine; net; node_id = id; profile; group_commit; checkpointing;
-    comm_batching; frames; log_space_limit; read_only_optimization; disk;
-    stable; live; up = true }
+    comm_batching; commit_protocol; frames; log_space_limit;
+    read_only_optimization; disk; stable; live; up = true }
 
 let id t = t.node_id
 
 let profile t = t.profile
+
+let commit_protocol t = t.commit_protocol
 
 let engine t = t.engine
 
@@ -115,9 +120,14 @@ let restart t ~reinstall ?(after_recovery = fun _ -> ()) () =
     build_incarnation t.engine t.net t.disk t.stable ~id:t.node_id
       ~profile:t.profile ~group_commit:t.group_commit
       ~checkpointing:t.checkpointing ~comm_batching:t.comm_batching
-      ~frames:t.frames ~log_space_limit:t.log_space_limit
+      ~commit_protocol:t.commit_protocol ~frames:t.frames
+      ~log_space_limit:t.log_space_limit
       ~read_only_optimization:t.read_only_optimization;
   t.up <- true;
+  (* while the log replays below, the node has "no record" of
+     transactions it may well have decided: answering status queries by
+     presumed abort in that window could split a committed outcome *)
+  Txn_mgr.hold_status_queries t.live.tm;
   reinstall (env t);
   let outcome = Recovery_mgr.recover t.live.rm in
   (* in-doubt data must be re-locked before resolution can race it *)

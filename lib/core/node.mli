@@ -37,7 +37,16 @@ type t
     layer ({!Tabs_net.Comm_mgr.batching}): piggybacked/delayed session
     acks and datagram coalescing. Off by default for the same reason as
     [?group_commit]. The setting survives {!crash}/{!restart} (each new
-    incarnation starts with empty batches). *)
+    incarnation starts with empty batches).
+
+    [?commit_protocol] selects the distributed commit protocol — a
+    cluster-wide convention, so every node of a cluster must be given
+    the same value. The default {!Tabs_tm.Commit_protocol.Two_phase} is
+    the paper's tree two-phase commit, byte-identical to a build
+    without the alternative. [Paxos {f}] replicates root-level votes
+    over the 2F+1 acceptors on nodes 0..2F ({!Tabs_tm.Paxos}), making
+    commitment non-blocking under coordinator failure. Survives
+    {!crash}/{!restart} (acceptor state is recovered from the log). *)
 val create :
   Tabs_sim.Engine.t ->
   Tabs_net.Network.t ->
@@ -46,6 +55,7 @@ val create :
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
+  ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->
   ?log_space_limit:int ->
   ?read_only_optimization:bool ->
@@ -55,6 +65,8 @@ val create :
 val id : t -> int
 
 val profile : t -> Tabs_sim.Profile.t
+
+val commit_protocol : t -> Tabs_tm.Commit_protocol.t
 
 val engine : t -> Tabs_sim.Engine.t
 

@@ -61,9 +61,16 @@ let fnv1a s =
 
 let shard_of_ranged server ranges key =
   let n = Array.length ranges in
-  if key < 0 || key >= ranges.(n - 1).hi then
+  (* the true bound is the last non-empty range's [hi]: with more shards
+     than keys the trailing ranges are empty ([lo = hi]), and quoting
+     [ranges.(n-1).hi] would misreport the valid key space *)
+  let bound =
+    Array.fold_left (fun b r -> if r.hi > r.lo then max b r.hi else b) 0 ranges
+  in
+  if key < 0 || key >= bound then
     invalid_arg
-      (Printf.sprintf "Placement: key %d outside keyspace %s" key server);
+      (Printf.sprintf "Placement: key %d outside keyspace %s [0, %d)" key
+         server bound);
   (* binary search for the covering range (empty ranges never cover) *)
   let rec find lo hi =
     if lo > hi then

@@ -289,4 +289,55 @@ let inspect (ev : Trace.event) =
             ("coordinator", Int e.coordinator);
           ];
       }
+  | Txn_mgr.Resolution_abandoned e ->
+      {
+        name = "resolution_abandoned";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("coordinator", Int e.coordinator);
+            ("attempts", Int e.attempts);
+          ];
+      }
+  | Paxos.Paxos_vote_cast e ->
+      {
+        name = "paxos_vote_cast";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("part", Int e.part);
+            ("yes", Str (if e.yes then "prepared" else "aborted"));
+          ];
+      }
+  | Paxos.Paxos_accepted e ->
+      {
+        name = "paxos_accepted";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("part", Int e.part);
+            ("ballot", Int e.ballot);
+            ("yes", Str (if e.yes then "prepared" else "aborted"));
+          ];
+      }
+  | Paxos.Paxos_takeover e ->
+      {
+        name = "paxos_takeover";
+        fields =
+          [ ("node", Int e.node); ("tid", tid e.tid); ("ballot", Int e.ballot) ];
+      }
+  | Paxos.Paxos_decided e ->
+      {
+        name = "paxos_decided";
+        fields =
+          [
+            ("node", Int e.node);
+            ("tid", tid e.tid);
+            ("committed", Str (if e.committed then "commit" else "abort"));
+            ("ballot", Int e.ballot);
+          ];
+      }
   | _ -> { name = "unknown"; fields = [] }

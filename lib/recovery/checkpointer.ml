@@ -23,6 +23,9 @@ type t = {
   checkpoint : unit -> Record.lsn;
       (* the Recovery Manager's fuzzy checkpoint, passed as a closure
          because the Recovery Manager owns this daemon *)
+  floor : unit -> Record.lsn option;
+      (* extra truncation floor (Paxos acceptor state lives outside the
+         transaction chains but must survive until its txn is decided) *)
   wake_q : unit Engine.Waitq.t;
   mutable pending : bool;
   mutable last_cycle : int;
@@ -64,6 +67,11 @@ let cycle t =
     | Some first -> min keep_from first
     | None -> keep_from
   in
+  let keep_from =
+    match t.floor () with
+    | Some f -> min keep_from f
+    | None -> keep_from
+  in
   let reclaimable = keep_from - Log_manager.first_lsn t.log in
   if reclaimable > 0 then begin
     t.reclaimed <- t.reclaimed + reclaimable;
@@ -79,7 +87,7 @@ let rec daemon t =
   cycle t;
   daemon t
 
-let create engine ~node ~vm ~log ~checkpoint config =
+let create engine ~node ~vm ~log ~checkpoint ?(floor = fun () -> None) config =
   let t =
     {
       engine;
@@ -88,6 +96,7 @@ let create engine ~node ~vm ~log ~checkpoint config =
       log;
       config;
       checkpoint;
+      floor;
       wake_q = Engine.Waitq.create ();
       pending = false;
       last_cycle = 0;

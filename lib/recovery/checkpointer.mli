@@ -40,15 +40,20 @@ type Tabs_sim.Trace.event +=
       records : int;
     }
 
-(** [create engine ~node ~vm ~log ~checkpoint config] spawns the daemon
-    fiber. [checkpoint] is the Recovery Manager's fuzzy checkpoint
-    (passed as a closure — the Recovery Manager owns the daemon). *)
+(** [create engine ~node ~vm ~log ~checkpoint ?floor config] spawns the
+    daemon fiber. [checkpoint] is the Recovery Manager's fuzzy
+    checkpoint (passed as a closure — the Recovery Manager owns the
+    daemon). [?floor] supplies an extra truncation floor each cycle:
+    Paxos Commit acceptor records belong to no local transaction chain,
+    so without it the daemon would reclaim consensus state a takeover
+    still needs. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
   vm:Tabs_accent.Vm.t ->
   log:Tabs_wal.Log_manager.t ->
   checkpoint:(unit -> Tabs_wal.Record.lsn) ->
+  ?floor:(unit -> Tabs_wal.Record.lsn option) ->
   config ->
   t
 

@@ -28,6 +28,10 @@ type recovery_outcome = {
   in_doubt : (Tid.t * int) list;
   written_objects : (Tid.t * Object_id.t) list;
   records_scanned : int;
+  paxos : (Record.lsn * Record.t) list;
+      (* surviving Paxos Commit acceptor state, already re-appended
+         above the closing checkpoint; the TM reseeds its acceptor from
+         these (the LSNs restore its truncation floor) *)
 }
 
 type t = {
@@ -49,6 +53,10 @@ type t = {
   mutable last_statuses : (Tid.t * txn_status) list;
   mutable last_background_flush : int;
   background_flush_interval : int;
+  mutable truncation_floor_source : unit -> Record.lsn option;
+      (* the TM's Paxos acceptor supplies the oldest log record that
+         still backs undecided consensus state — those records belong to
+         no transaction chain, so reclamation would otherwise eat them *)
 }
 
 let log t = t.log
@@ -63,6 +71,8 @@ let register_op_handler t ~server handler =
 let set_active_txns_source t f = t.active_txns_source <- f
 
 let set_prepared_source t f = t.prepared_source <- f
+
+let set_truncation_floor_source t f = t.truncation_floor_source <- f
 
 let small_msg t = Engine.charge t.engine Cost_model.Small_contiguous_message
 
@@ -306,6 +316,11 @@ let maybe_reclaim t =
           List.fold_left (fun acc (_, r) -> min acc r) keep_from
             (Vm.dirty_pages t.vm)
         in
+        let keep_from =
+          match t.truncation_floor_source () with
+          | Some f -> min keep_from f
+          | None -> keep_from
+        in
         Log_manager.truncate t.log ~keep_from;
         true
 
@@ -331,6 +346,7 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       last_statuses = [];
       last_background_flush = 0;
       background_flush_interval = 250_000;
+      truncation_floor_source = (fun () -> None);
     }
   in
   Vm.set_wal_hooks vm (wal_hooks t);
@@ -339,6 +355,7 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       (fun config ->
         Checkpointer.create engine ~node ~vm ~log
           ~checkpoint:(fun () -> checkpoint t)
+          ~floor:(fun () -> t.truncation_floor_source ())
           config)
       checkpointing;
   t
@@ -451,7 +468,11 @@ let analyze ?(anchored = true) t =
       | Record.Txn_abort tid ->
           Hashtbl.replace a.aborted tid ();
           if Tid.is_top tid then set_status a tid Aborted
-      | Record.Txn_end _ | Record.Checkpoint _ -> ())
+      | Record.Txn_end _ | Record.Checkpoint _ | Record.Paxos_promise _
+      | Record.Paxos_accept _ | Record.Paxos_decision _ ->
+          (* Paxos acceptor records track consensus on foreign
+             transactions, not local transaction status *)
+          ())
     a.records;
   a
 
@@ -629,6 +650,60 @@ let recover ?anchored t =
            prepared = in_doubt;
          })
   in
+  (* Paxos Commit acceptor state must survive the reclamation below: it
+     belongs to no local transaction chain, so the keep_from floor would
+     eat it. Condense it — for a decided transaction only the decision
+     matters; for an undecided one the highest promise and the highest-
+     ballot accept per participant instance — and re-append it above the
+     closing checkpoint, where truncation cannot reach. *)
+  let paxos =
+    let promises = Hashtbl.create 4 (* tid -> max ballot *) in
+    let accepts = Hashtbl.create 4 (* (tid, part) -> (ballot, yes) *) in
+    let decisions = Hashtbl.create 4 (* tid -> committed *) in
+    let tids = ref [] in
+    let note tid = if not (List.mem tid !tids) then tids := tid :: !tids in
+    Array.iter
+      (fun (_, record) ->
+        match record with
+        | Record.Paxos_promise { tid; ballot } ->
+            note tid;
+            let prev =
+              Option.value (Hashtbl.find_opt promises tid) ~default:(-1)
+            in
+            if ballot > prev then Hashtbl.replace promises tid ballot
+        | Record.Paxos_accept { tid; part; ballot; yes } ->
+            note tid;
+            let prev =
+              match Hashtbl.find_opt accepts (tid, part) with
+              | Some (b, _) -> b
+              | None -> -1
+            in
+            if ballot >= prev then Hashtbl.replace accepts (tid, part) (ballot, yes)
+        | Record.Paxos_decision { tid; committed } ->
+            note tid;
+            Hashtbl.replace decisions tid committed
+        | _ -> ())
+      a.records;
+    List.concat_map
+      (fun tid ->
+        match Hashtbl.find_opt decisions tid with
+        | Some committed -> [ Record.Paxos_decision { tid; committed } ]
+        | None ->
+            let promise =
+              match Hashtbl.find_opt promises tid with
+              | Some ballot -> [ Record.Paxos_promise { tid; ballot } ]
+              | None -> []
+            in
+            promise
+            @ Hashtbl.fold
+                (fun (t', part) (ballot, yes) acc ->
+                  if Tid.equal t' tid then
+                    Record.Paxos_accept { tid; part; ballot; yes } :: acc
+                  else acc)
+                accepts [])
+      (List.sort Tid.compare !tids)
+  in
+  let paxos = List.map (fun r -> (Log_manager.append t.log r, r)) paxos in
   Log_manager.force_all t.log;
   let keep_from =
     List.fold_left (fun acc (_, r) -> min acc r) (min keep_from ck)
@@ -652,6 +727,7 @@ let recover ?anchored t =
     in_doubt;
     written_objects;
     records_scanned = Array.length a.records;
+    paxos;
   }
 
 let statuses t = t.last_statuses

@@ -60,6 +60,13 @@ type recovery_outcome = {
       (** objects updated by in-doubt transactions, for lock
           re-acquisition *)
   records_scanned : int;
+  paxos : (Tabs_wal.Record.lsn * Tabs_wal.Record.t) list;
+      (** surviving Paxos Commit acceptor records (condensed: decisions
+          for decided transactions; highest promise and highest-ballot
+          accepts for undecided ones), already re-appended above the
+          closing checkpoint so reclamation cannot eat them. The
+          Transaction Manager reseeds its acceptor from these; the LSNs
+          restore the acceptor's log-truncation floor. *)
 }
 
 (** [create engine ~node ~log ~vm ?profile ?group_commit
@@ -110,6 +117,15 @@ val set_active_txns_source :
     for checkpoint records, so a checkpoint-anchored restart can seed
     its in-doubt table without scanning back to the prepare records. *)
 val set_prepared_source : t -> (unit -> (Tabs_wal.Tid.t * int) list) -> unit
+
+(** [set_truncation_floor_source t f] — the Transaction Manager's Paxos
+    acceptor supplies the LSN of the oldest log record still backing
+    undecided consensus state. Acceptor records join no transaction
+    chain, so both reclamation paths (foreground {!maybe_reclaim} and
+    the background {!Checkpointer}) consult this extra floor before
+    truncating. *)
+val set_truncation_floor_source :
+  t -> (unit -> Tabs_wal.Record.lsn option) -> unit
 
 (** {2 Forward processing} *)
 

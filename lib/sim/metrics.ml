@@ -22,6 +22,12 @@ type msgs = {
   mutable duplicate_reacks : int; (* re-acks triggered by duplicate frames *)
 }
 
+(* [tm] counts commit-protocol pathologies the Transaction Managers
+   report: a resolution abandoned means an in-doubt participant (or
+   orphan) exhausted its status-query attempts and is still blocked
+   with locks held — under 2PC the data stays locked forever. *)
+type tm = { mutable resolutions_abandoned : int }
+
 (* [per_node] rolls the charged counters up by the node of the fiber
    that paid them (scale-out benches report per-shard load from it).
    Purely observational: entries appear lazily, and nothing reads them
@@ -30,8 +36,13 @@ type t = {
   charged : int array;
   elided : int array;
   msgs : msgs;
+  tm : tm;
   per_node : (int, int array) Hashtbl.t;
 }
+
+let zero_tm () = { resolutions_abandoned = 0 }
+
+let copy_tm (m : tm) = { resolutions_abandoned = m.resolutions_abandoned }
 
 let zero_msgs () =
   {
@@ -59,10 +70,13 @@ let create () =
     charged = Array.make size 0;
     elided = Array.make size 0;
     msgs = zero_msgs ();
+    tm = zero_tm ();
     per_node = Hashtbl.create 8;
   }
 
 let msgs t = t.msgs
+
+let tm t = t.tm
 
 let copy_msgs m =
   {
@@ -123,7 +137,8 @@ let reset t =
   m.piggybacked_acks <- 0;
   m.delayed_acks <- 0;
   m.ack_deliveries_covered <- 0;
-  m.duplicate_reacks <- 0
+  m.duplicate_reacks <- 0;
+  t.tm.resolutions_abandoned <- 0
 
 let snapshot t =
   let per_node = Hashtbl.create (Hashtbl.length t.per_node) in
@@ -132,6 +147,7 @@ let snapshot t =
     charged = Array.copy t.charged;
     elided = Array.copy t.elided;
     msgs = copy_msgs t.msgs;
+    tm = copy_tm t.tm;
     per_node;
   }
 
@@ -162,6 +178,11 @@ let diff ~later ~earlier =
           - earlier.msgs.ack_deliveries_covered;
         duplicate_reacks =
           later.msgs.duplicate_reacks - earlier.msgs.duplicate_reacks;
+      };
+    tm =
+      {
+        resolutions_abandoned =
+          later.tm.resolutions_abandoned - earlier.tm.resolutions_abandoned;
       };
   }
 

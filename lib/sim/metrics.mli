@@ -22,11 +22,21 @@ type msgs = {
   mutable duplicate_reacks : int;
 }
 
+(** Commit-protocol pathology counters, kept by the Transaction
+    Managers: {!tm.resolutions_abandoned} counts in-doubt participants
+    (and orphans) that exhausted their status-query attempts and remain
+    blocked with write locks held. Mutate only from {!Tabs_tm.Txn_mgr}. *)
+type tm = { mutable resolutions_abandoned : int }
+
 val create : unit -> t
 
 (** [msgs t] is the live message-counter block (shared mutable state;
     {!snapshot} and {!diff} copy it). *)
 val msgs : t -> msgs
+
+(** [tm t] is the live Transaction Manager counter block (shared mutable
+    state; {!snapshot} and {!diff} copy it). *)
+val tm : t -> tm
 
 (** [record t p] counts one execution of primitive [p]. *)
 val record : t -> Cost_model.primitive -> unit

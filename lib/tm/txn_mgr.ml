@@ -35,6 +35,17 @@ type Trace.event +=
   | Prepared_in_doubt of { node : int; tid : Tid.t; coordinator : int }
   | In_doubt_resolved of { node : int; tid : Tid.t; outcome : outcome }
   | Status_query_sent of { node : int; tid : Tid.t; coordinator : int }
+  | Resolution_abandoned of {
+      node : int;
+      tid : Tid.t;
+      coordinator : int;
+      attempts : int;
+    }
+      (* a resolver or orphan watchdog exhausted its status-query
+         budget and gave up with the transaction still undecided here —
+         its write locks stay held. Under 2PC this is the protocol's
+         blocking window made permanent; it is what Paxos Commit
+         removes. *)
 
 type Network.payload +=
   | Tm_prepare of Tid.t
@@ -77,8 +88,15 @@ type t = {
   profile : Profile.t;
   rm : Recovery_mgr.t;
   cm : Comm_mgr.t;
+  commit_protocol : Commit_protocol.t;
+  mutable px : Paxos.t option; (* Some iff commit_protocol is Paxos *)
   vote_timeout : int;
   read_only_optimization : bool;
+  mutable ready : bool;
+      (* false while a restart is replaying the log: a mid-recovery "no
+         record of that transaction" is not "no transaction", so status
+         queries must wait for {!recover} to finish *)
+  mutable resolutions_abandoned : int;
   checkpoint_interval : int;
       (* commits between the checkpoints this TM asks of the RM *)
   mutable commits_since_checkpoint : int;
@@ -99,7 +117,13 @@ let node t = t.node_id
 
 let profile t = t.profile
 
+let commit_protocol t = t.commit_protocol
+
 let distributed_commits t = t.distributed_commits
+
+let resolutions_abandoned t = t.resolutions_abandoned
+
+let hold_status_queries t = t.ready <- false
 
 let register_server t ~name callbacks = Hashtbl.replace t.servers name callbacks
 
@@ -396,59 +420,205 @@ let commit_distributed t top =
     Committed
   end
 
+(* Tree commit, coordinator side, under Paxos Commit. The spanning tree
+   and both phases are unchanged — prepares flow down, votes flow up,
+   the verdict flows down — but root-level participants additionally
+   multicast their votes to the 2F+1 acceptors as ballot-0 accepts, and
+   the decision point moves from "coordinator's commit record forced"
+   to "every instance holds F+1 Prepared accepts". Two consequences:
+
+   - the coordinator appends its commit record {e unforced}: the
+     outcome is already quorum-durable at the acceptors, and a takeover
+     quorum necessarily intersects every accept quorum, so nothing is
+     lost if this node crashes before the append reaches disk;
+   - the coordinator may not presume abort on vote-phase {e silence}: a
+     silent child's Prepared vote may already be stable in an acceptor
+     quorum that a concurrent takeover is reading, so silence is
+     resolved by running a real ballot. An explicit No is still an
+     immediate abort — the No voter never cast Prepared, so no ballot
+     can ever choose Commit. *)
+let commit_paxos t px top =
+  small t;
+  let wrote = family_wrote_locally t top in
+  Engine.charge_cpu t.engine ~process:"tm"
+    (Overheads.tm_local_readonly + if wrote then Overheads.tm_commit_write else 0);
+  Engine.charge_cpu t.engine ~process:"rm"
+    (Overheads.rm_local_readonly + if wrote then Overheads.rm_commit_write else 0);
+  let children = Comm_mgr.children_of t.cm top in
+  Paxos.begin_leader px top ~parts:(t.node_id :: children);
+  let g = new_gather () t.gathers top children in
+  if tracing t then
+    emit t (Prepare_sent { node = t.node_id; tid = top; dests = children });
+  Comm_mgr.send_datagrams_parallel t.cm ~dests:children (Tm_prepare top);
+  let local_ok = local_votes_ok t top in
+  (* the coordinator's own instance: force the prepare first (a vote
+     must never outlive the updates it promises), then cast *)
+  if local_ok && wrote then begin
+    let lsn =
+      Recovery_mgr.append_tm_record t.rm (Record.Txn_prepare (top, t.node_id))
+    in
+    Recovery_mgr.force_through t.rm lsn
+  end;
+  Paxos.cast_vote px top ~part:t.node_id ~yes:local_ok;
+  wait_gather t g;
+  Hashtbl.remove t.gathers top;
+  let finish_abort ~reason ~announce =
+    if announce then Paxos.announce px top ~committed:false;
+    abort_top t top ~children ~reason;
+    Paxos.end_leader px top;
+    forget t top;
+    small t;
+    Aborted
+  in
+  let finish_commit ~forced =
+    if not forced then
+      ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_commit top));
+    Paxos.announce px top ~committed:true;
+    t.distributed_commits <- t.distributed_commits + 1;
+    record_outcome t top Committed;
+    if tracing t then
+      emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
+    notify_local_servers t top Committed;
+    let phase_two () =
+      let a = new_gather () t.acks top children in
+      propagate_outcome t top Committed ~to_nodes:children;
+      wait_gather t a;
+      Hashtbl.remove t.acks top;
+      ignore (Recovery_mgr.append_tm_record t.rm (Record.Txn_end top));
+      Paxos.end_leader px top;
+      forget t top
+    in
+    (match t.profile with
+    | Profile.Classic -> phase_two ()
+    | Profile.Integrated ->
+        ignore (Engine.spawn t.engine ~node:t.node_id phase_two));
+    small t;
+    Committed
+  in
+  (* a takeover beat us to a verdict while we gathered votes? *)
+  match Paxos.decision_of px top with
+  | Some true -> finish_commit ~forced:false
+  | Some false -> finish_abort ~reason:Trace.Comm_failure ~announce:false
+  | None ->
+      if (g.any_no && not g.timed_out) || not local_ok then
+        (* an explicit No somewhere: abort directly, and tell the
+           acceptors so in-doubt queries are answerable at once *)
+        finish_abort ~reason:Trace.Vote_no ~announce:true
+      else if g.timed_out then begin
+        (* silence: resolve through a ballot, never unilaterally *)
+        let committed = Paxos.resolve_as_coordinator px top in
+        if committed then finish_commit ~forced:false
+        else finish_abort ~reason:Trace.Comm_failure ~announce:false
+      end
+      else if t.read_only_optimization && (not wrote) && g.all_read_only then begin
+        (* whole tree read-only: one phase, nothing durable at stake *)
+        Paxos.announce px top ~committed:true;
+        t.distributed_commits <- t.distributed_commits + 1;
+        record_outcome t top Committed;
+        if tracing t then
+          emit t (Txn_commit { node = t.node_id; tid = top; distributed = true });
+        notify_local_servers t top Committed;
+        Paxos.end_leader px top;
+        forget t top;
+        small t;
+        Committed
+      end
+      else begin
+        match Paxos.await_quorum px top ~timeout:t.vote_timeout with
+        | `Commit | `Decided true -> finish_commit ~forced:false
+        | `Abort | `Decided false ->
+            finish_abort ~reason:Trace.Vote_no ~announce:true
+        | `Timeout ->
+            (* votes arrived but accept confirmations did not — fewer
+               than F+1 acceptors reachable. Paxos blocks here, by
+               design: resolve through a ballot when quorum returns. *)
+            let committed = Paxos.resolve_as_coordinator px top in
+            if committed then finish_commit ~forced:false
+            else finish_abort ~reason:Trace.Comm_failure ~announce:false
+      end
+
 (* Subordinate side ----------------------------------------------------- *)
+
+(* Status-query resolution. One loop serves both the in-doubt resolver
+   (a prepared participant awaiting its coordinator's verdict) and the
+   orphan watchdog (a node drawn in by remote traffic that may never
+   hear the verdict: under presumed abort the coordinator's Tm_abort is
+   a single unacknowledged datagram, so if it is lost before the
+   participant was even prepared, nothing else would ever release its
+   write locks). Both used to duplicate this send path with separately
+   computed coordinators; now the target and the query are decided in
+   exactly one place.
+
+   Under 2PC the query goes to the coordinator, which answers with the
+   recorded outcome — or presumed abort — once it genuinely has no
+   record. Under Paxos Commit the query goes to the acceptors instead:
+   they answer once a decision is chosen, and an unanswered query arms
+   their takeover watchdog, so resolution does not depend on the
+   coordinator ever coming back. *)
+
+let coordinator_of t top =
+  match Comm_mgr.parent_of t.cm top with
+  | Some p -> p
+  | None -> top.Tid.node
+
+let send_status_query t top ~coordinator =
+  if tracing t then
+    emit t (Status_query_sent { node = t.node_id; tid = top; coordinator });
+  match t.px with
+  | Some px ->
+      Comm_mgr.send_datagrams_parallel t.cm ~dests:(Paxos.acceptors px)
+        (Paxos.Px_status_query top)
+  | None ->
+      Comm_mgr.send_datagram t.cm ~dest:coordinator (Tm_status_query top)
+
+(* Queries stop after a while so a simulation can quiesce, but the
+   transaction stays undecided and its data stays locked. Giving up
+   used to be silent; now it is observable — a trace event, the
+   engine-wide Metrics.tm counter, and a per-TM count surfaced next to
+   {!in_doubt} — because a participant blocked forever with locks held
+   is the failure mode this whole layer exists to expose. *)
+let abandon_resolution t top ~coordinator ~attempts =
+  t.resolutions_abandoned <- t.resolutions_abandoned + 1;
+  let m = Metrics.tm (Engine.metrics t.engine) in
+  m.Metrics.resolutions_abandoned <- m.Metrics.resolutions_abandoned + 1;
+  if tracing t then
+    emit t
+      (Resolution_abandoned { node = t.node_id; tid = top; coordinator; attempts })
 
 let start_resolver t top ~coordinator ~delay =
   ignore
     (Engine.spawn t.engine ~node:t.node_id (fun () ->
-         (* Queries stop after a while so a simulation can quiesce, but
-            the transaction stays in doubt and its data stays locked --
-            the blocking window of two-phase commit is preserved. *)
          let rec loop attempts =
            Engine.delay delay;
            match Hashtbl.find_opt t.participants top with
            | None -> () (* resolved meanwhile *)
-           | Some _ when attempts >= 100 -> ()
+           | Some _ when attempts >= 100 ->
+               abandon_resolution t top ~coordinator ~attempts
            | Some _ ->
-               if tracing t then
-                 emit t
-                   (Status_query_sent { node = t.node_id; tid = top; coordinator });
-               Comm_mgr.send_datagram t.cm ~dest:coordinator
-                 (Tm_status_query top);
+               send_status_query t top ~coordinator;
                loop (attempts + 1)
          in
          loop 0))
 
-(* A node drawn into a transaction by remote traffic may never hear the
-   verdict: under presumed abort the coordinator's Tm_abort is a single
-   unacknowledged datagram, so if it is lost before the participant was
-   even prepared, the participant would hold its write locks forever
-   (the in-doubt resolver only covers prepared participants). Watch for
-   that: long after any healthy transaction has finished, start asking
-   up the tree. The coordinator stays silent while still deciding and
-   answers with the recorded outcome — or presumed abort — once done. *)
 let start_orphan_watchdog t top =
   ignore
     (Engine.spawn t.engine ~node:t.node_id (fun () ->
          let rec loop attempts =
            Engine.delay (if attempts = 0 then 10_000_000 else 3_000_000);
-           if (not (Hashtbl.mem t.outcomes top)) && attempts < 100 then begin
-             (* once prepared, the in-doubt resolver owns the querying *)
-             if not (Hashtbl.mem t.participants top) then begin
-               let coordinator =
-                 match Comm_mgr.parent_of t.cm top with
-                 | Some p -> p
-                 | None -> top.Tid.node
-               in
-               if tracing t then
-                 emit t
-                   (Status_query_sent
-                      { node = t.node_id; tid = top; coordinator });
-               Comm_mgr.send_datagram t.cm ~dest:coordinator
-                 (Tm_status_query top)
-             end;
-             loop (attempts + 1)
-           end
+           if not (Hashtbl.mem t.outcomes top) then
+             if attempts >= 100 then begin
+               (* count it only if the in-doubt resolver doesn't own the
+                  transaction — that resolver abandons for itself *)
+               if not (Hashtbl.mem t.participants top) then
+                 abandon_resolution t top ~coordinator:(coordinator_of t top)
+                   ~attempts
+             end
+             else begin
+               (* once prepared, the in-doubt resolver owns the querying *)
+               if not (Hashtbl.mem t.participants top) then
+                 send_status_query t top ~coordinator:(coordinator_of t top);
+               loop (attempts + 1)
+             end
          in
          loop 0))
 
@@ -468,6 +638,19 @@ let handle_prepare t top ~src =
   Hashtbl.remove t.gathers top;
   let wrote = family_wrote_locally t top in
   let send_vote vote =
+    (* Under Paxos Commit a direct child of the root is a root-level
+       participant: its vote is also the ballot-0 phase-2a message of
+       its own consensus instance, multicast to the acceptors. (Deeper
+       subtree nodes have no instance — their live coordinator is this
+       node, which aggregates them into its own vote. Read_only is cast
+       on the child's behalf by the root, which must decide whether the
+       whole tree is read-only first.) For a Yes this runs after the
+       prepare record is forced above: a vote must never outlive the
+       updates it promises. *)
+    (match t.px with
+    | Some px when src = top.Tid.node && vote <> Read_only ->
+        Paxos.cast_vote px top ~part:t.node_id ~yes:(vote = Yes)
+    | _ -> ());
     if tracing t then
       emit t (Vote_sent { node = t.node_id; tid = top; dest = src; vote });
     Comm_mgr.send_datagram t.cm ~dest:src (Tm_vote (top, vote))
@@ -565,11 +748,17 @@ let locally_live t top =
   || Comm_mgr.involved_remotely t.cm top
 
 let handle_status_query t top ~src =
-  match Hashtbl.find_opt t.outcomes top with
-  | Some o -> Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, o))
-  | None ->
-      if not (locally_live t top) then
-        Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, Aborted))
+  (* A restarting coordinator must not answer while recovery is still
+     replaying the log: it may be asked about a transaction it decided
+     but has not yet re-learned, and "no record" here would become a
+     presumed-abort answer that splits from the recorded outcome. Stay
+     silent until {!recover} finishes — the asker retries. *)
+  if t.ready then
+    match Hashtbl.find_opt t.outcomes top with
+    | Some o -> Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, o))
+    | None ->
+        if not (locally_live t top) then
+          Comm_mgr.send_datagram t.cm ~dest:src (Tm_status_reply (top, Aborted))
 
 (* Public entry points -------------------------------------------------- *)
 
@@ -585,7 +774,10 @@ let commit t tid =
     small t;
     Committed
   end
-  else if Comm_mgr.involved_remotely t.cm tid then commit_distributed t tid
+  else if Comm_mgr.involved_remotely t.cm tid then
+    match t.px with
+    | Some px -> commit_paxos t px tid
+    | None -> commit_distributed t tid
   else commit_local t tid
 
 let abort t ?(reason = Trace.Explicit) tid =
@@ -638,11 +830,16 @@ let recover t (summary : Recovery_mgr.recovery_outcome) =
       if tracing t then
         emit t (Prepared_in_doubt { node = t.node_id; tid; coordinator });
       start_resolver t tid ~coordinator ~delay:200_000)
-    summary.in_doubt
+    summary.in_doubt;
+  (* Reinstall surviving Paxos acceptor state (promises, accepts,
+     decisions); takeover watchdogs restart for undecided transactions.
+     Only now may status queries be answered again. *)
+  Option.iter (fun px -> Paxos.reseed px summary.paxos) t.px;
+  t.ready <- true
 
 let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
-    ?(vote_timeout = 2_000_000) ?(read_only_optimization = true)
-    ?(checkpoint_interval = 50) () =
+    ?(commit_protocol = Commit_protocol.default) ?(vote_timeout = 2_000_000)
+    ?(read_only_optimization = true) ?(checkpoint_interval = 50) () =
   let t =
     {
       engine;
@@ -650,6 +847,10 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
       profile;
       rm;
       cm;
+      commit_protocol;
+      px = None;
+      ready = true;
+      resolutions_abandoned = 0;
       vote_timeout;
       read_only_optimization;
       checkpoint_interval;
@@ -673,6 +874,14 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
       participants = Hashtbl.create 8;
     }
   in
+  (* The Paxos role registers its datagram handler (and its
+     log-truncation floor) before the TM's own, so a decision is
+     recorded for the acceptor/leader state machines before the TM's
+     participant handling — which may block gathering acks — sees it. *)
+  (match commit_protocol with
+  | Commit_protocol.Two_phase -> ()
+  | Commit_protocol.Paxos { f } ->
+      t.px <- Some (Paxos.create engine ~node ~f ~rm ~cm ()));
   Recovery_mgr.set_active_txns_source rm (fun () -> active_txns t);
   Recovery_mgr.set_prepared_source rm (fun () ->
       Hashtbl.fold
@@ -690,6 +899,15 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
       | Tm_vote (top, v) ->
           if tracing t then
             emit t (Vote_received { node = t.node_id; tid = top; src; vote = v });
+          (* Under Paxos Commit a Read_only direct child drops out of
+             phase two without casting: the root casts Prepared on its
+             behalf so its instance exists — otherwise a takeover would
+             choose Aborted for it and split from a root that saw a
+             committable tree. *)
+          (match t.px with
+          | Some px when v = Read_only && top.Tid.node = t.node_id ->
+              Paxos.cast_vote px top ~part:src ~yes:true
+          | _ -> ());
           gather_note t t.gathers top src v;
           if v = No then
             (* make sure a blocked coordinator learns promptly *)
@@ -715,6 +933,23 @@ let create engine ~node ~rm ~cm ?(profile = Profile.Classic)
           (* accept for a prepared participant (normal in-doubt
              resolution) or for an undecided orphan participant still
              holding effects of a remote transaction *)
+          let orphan =
+            (not (Hashtbl.mem t.outcomes top))
+            && top.Tid.node <> t.node_id
+            && Comm_mgr.involved_remotely t.cm top
+          in
+          if Hashtbl.mem t.participants top || orphan then begin
+            if tracing t then
+              emit t (Verdict_received { node = t.node_id; tid = top; outcome; src });
+            apply_decided_outcome t top outcome ~ack_to:None
+          end
+      | Paxos.Px_decision { tid = top; committed } ->
+          (* A Paxos decision reaching a blocked participant (from an
+             acceptor answering its status query, or a takeover's
+             broadcast). Same acceptance rule as Tm_status_reply; the
+             Paxos module's own handler separately records the decision
+             for this node's acceptor/leader roles. *)
+          let outcome = if committed then Committed else Aborted in
           let orphan =
             (not (Hashtbl.mem t.outcomes top))
             && top.Tid.node <> t.node_id

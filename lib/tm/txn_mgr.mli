@@ -7,10 +7,15 @@
     spanning tree the Communication Manager recorded while the
     transaction spread. Commit protocol messages travel as datagrams.
 
-    The paper's known failure mode is preserved: a subordinate that
-    prepared and then lost its coordinator holds its data inaccessible
-    (locks re-taken at restart) until the coordinator answers a status
-    query — the classic two-phase-commit blocking window.
+    Under the default {!Commit_protocol.Two_phase}, the paper's known
+    failure mode is preserved: a subordinate that prepared and then
+    lost its coordinator holds its data inaccessible (locks re-taken at
+    restart) until the coordinator answers a status query — the classic
+    two-phase-commit blocking window. {!Commit_protocol.Paxos} removes
+    it: root-level votes are replicated to 2F+1 acceptors ({!Paxos})
+    and any acceptor resolves a stalled transaction by consensus, so
+    progress survives coordinator failure as long as F+1 acceptors
+    do.
 
     Subtransactions behave as in Section 2.1.3: beginning one requires
     only its parent's identifier, committing one merely passes its locks
@@ -77,6 +82,16 @@ type Tabs_sim.Trace.event +=
       tid : Tabs_wal.Tid.t;
       coordinator : int;
     }
+  | Resolution_abandoned of {
+      node : int;
+      tid : Tabs_wal.Tid.t;
+      coordinator : int;
+      attempts : int;
+    }
+      (** an in-doubt resolver or orphan watchdog exhausted its
+          status-query budget with the transaction still undecided
+          here: its write locks stay held forever. Also counted in
+          {!Tabs_sim.Metrics.tm} and {!resolutions_abandoned}. *)
 
 (** The commit-protocol datagram vocabulary, exposed for tests and
     monitoring tools. *)
@@ -124,6 +139,7 @@ val create :
   rm:Tabs_recovery.Recovery_mgr.t ->
   cm:Tabs_net.Comm_mgr.t ->
   ?profile:Tabs_sim.Profile.t ->
+  ?commit_protocol:Commit_protocol.t ->
   ?vote_timeout:int ->
   ?read_only_optimization:bool ->
   ?checkpoint_interval:int ->
@@ -133,6 +149,11 @@ val create :
 val node : t -> int
 
 val profile : t -> Tabs_sim.Profile.t
+
+(** The commit protocol this node runs (a cluster-wide convention; the
+    default is {!Commit_protocol.Two_phase}, under which nothing of the
+    Paxos machinery — messages, handlers, log records — exists). *)
+val commit_protocol : t -> Commit_protocol.t
 
 (** [distributed_commits t] counts the committed tree two-phase-commit
     rounds this Transaction Manager coordinated (benchmark
@@ -192,6 +213,19 @@ val recover : t -> Tabs_recovery.Recovery_mgr.recovery_outcome -> unit
 (** [in_doubt t] lists transactions still awaiting their coordinator's
     verdict. *)
 val in_doubt : t -> Tabs_wal.Tid.t list
+
+(** [resolutions_abandoned t] — how many in-doubt (or orphaned)
+    transactions this node gave up querying about, each still blocked
+    with locks held; read it alongside {!in_doubt}. *)
+val resolutions_abandoned : t -> int
+
+(** [hold_status_queries t] silences {!Tm_status_query} answering until
+    the next {!recover} completes. {!Tabs_core.Node.restart} calls it
+    between rebuilding the managers and replaying the log: in that
+    window the node has genuinely "no record" of transactions it
+    decided before the crash, and answering presumed-abort then could
+    split a committed transaction's outcome. *)
+val hold_status_queries : t -> unit
 
 (** [outcome_of t tid] answers status queries (and tests): the locally
     known verdict, if any. *)

@@ -16,6 +16,9 @@ let record_kind = function
   | Record.Txn_prepare _ -> "prepare"
   | Record.Txn_end _ -> "end"
   | Record.Checkpoint _ -> "checkpoint"
+  | Record.Paxos_promise _ -> "paxos_promise"
+  | Record.Paxos_accept _ -> "paxos_accept"
+  | Record.Paxos_decision _ -> "paxos_decision"
 
 (* The volatile buffer holds exactly the contiguous LSN range
    [buf_first, buf_first + buf_len) — everything appended but not yet
@@ -142,7 +145,10 @@ let push t record =
           Hashtbl.remove t.txn_last tid;
           Hashtbl.remove t.txn_first tid;
           Hashtbl.replace t.outcome_lsns tid lsn
-      | Record.Txn_begin _ | Record.Txn_prepare _ | Record.Checkpoint _ -> ())
+      | Record.Txn_begin _ | Record.Txn_prepare _ | Record.Checkpoint _
+      | Record.Paxos_promise _ | Record.Paxos_accept _
+      | Record.Paxos_decision _ ->
+          ())
   | None -> ());
   if Engine.tracing t.engine then
     Engine.emit t.engine

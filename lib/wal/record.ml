@@ -35,19 +35,25 @@ type t =
   | Txn_prepare of Tid.t * int
   | Txn_end of Tid.t
   | Checkpoint of checkpoint
+  | Paxos_promise of { tid : Tid.t; ballot : int }
+  | Paxos_accept of { tid : Tid.t; part : int; ballot : int; yes : bool }
+  | Paxos_decision of { tid : Tid.t; committed : bool }
 
+(* Paxos acceptor records describe consensus state this node holds on
+   behalf of a *foreign* transaction, not local update history, so they
+   join no transaction chain and carry no tid for chain maintenance. *)
 let tid_of = function
   | Update_value u -> Some u.tid
   | Update_operation u -> Some u.tid
   | Txn_begin tid | Txn_commit tid | Txn_abort tid | Txn_end tid -> Some tid
   | Txn_prepare (tid, _) -> Some tid
-  | Checkpoint _ -> None
+  | Checkpoint _ | Paxos_promise _ | Paxos_accept _ | Paxos_decision _ -> None
 
 let prev_of = function
   | Update_value u -> u.prev
   | Update_operation u -> u.prev
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Txn_prepare _ | Txn_end _
-  | Checkpoint _ ->
+  | Checkpoint _ | Paxos_promise _ | Paxos_accept _ | Paxos_decision _ ->
       None
 
 (* Encoding --------------------------------------------------------- *)
@@ -134,7 +140,21 @@ let encode t =
         (fun w (tid, coordinator) ->
           write_tid w tid;
           Codec.Writer.int w coordinator)
-        c.prepared);
+        c.prepared
+  | Paxos_promise p ->
+      Codec.Writer.int w 8;
+      write_tid w p.tid;
+      Codec.Writer.int w p.ballot
+  | Paxos_accept a ->
+      Codec.Writer.int w 9;
+      write_tid w a.tid;
+      Codec.Writer.int w a.part;
+      Codec.Writer.int w a.ballot;
+      Codec.Writer.int w (if a.yes then 1 else 0)
+  | Paxos_decision d ->
+      Codec.Writer.int w 10;
+      write_tid w d.tid;
+      Codec.Writer.int w (if d.committed then 1 else 0));
   Codec.Writer.contents w
 
 let decode s =
@@ -185,6 +205,20 @@ let decode s =
               (tid, coordinator))
         in
         Checkpoint { dirty_pages; active_txns; prepared }
+    | 8 ->
+        let tid = read_tid r in
+        let ballot = Codec.Reader.int r in
+        Paxos_promise { tid; ballot }
+    | 9 ->
+        let tid = read_tid r in
+        let part = Codec.Reader.int r in
+        let ballot = Codec.Reader.int r in
+        let yes = Codec.Reader.int r <> 0 in
+        Paxos_accept { tid; part; ballot; yes }
+    | 10 ->
+        let tid = read_tid r in
+        let committed = Codec.Reader.int r <> 0 in
+        Paxos_decision { tid; committed }
     | n -> raise (Codec.Reader.Malformed (Printf.sprintf "unknown tag %d" n))
   in
   if not (Codec.Reader.at_end r) then
@@ -211,3 +245,12 @@ let pp fmt = function
         (List.length c.dirty_pages)
         (List.length c.active_txns)
         (List.length c.prepared)
+  | Paxos_promise p ->
+      Format.fprintf fmt "paxos-promise %a b=%d" Tid.pp p.tid p.ballot
+  | Paxos_accept a ->
+      Format.fprintf fmt "paxos-accept %a part=%d b=%d %s" Tid.pp a.tid a.part
+        a.ballot
+        (if a.yes then "prepared" else "aborted")
+  | Paxos_decision d ->
+      Format.fprintf fmt "paxos-decision %a %s" Tid.pp d.tid
+        (if d.committed then "commit" else "abort")

@@ -59,6 +59,14 @@ type t =
   | Txn_prepare of Tid.t * int  (** prepared; int is the coordinator node *)
   | Txn_end of Tid.t  (** two-phase commit completed, outcome fully acked *)
   | Checkpoint of checkpoint
+  | Paxos_promise of { tid : Tid.t; ballot : int }
+      (** Paxos Commit acceptor: promised to ignore ballots below
+          [ballot] for this transaction's consensus instances *)
+  | Paxos_accept of { tid : Tid.t; part : int; ballot : int; yes : bool }
+      (** Paxos Commit acceptor: accepted value [yes] (Prepared /
+          Aborted) at [ballot] for participant [part]'s instance *)
+  | Paxos_decision of { tid : Tid.t; committed : bool }
+      (** Paxos Commit acceptor: learned the transaction's outcome *)
 
 (** [tid_of t] is the transaction a record belongs to, if any. *)
 val tid_of : t -> Tid.t option

@@ -57,6 +57,27 @@ let test_placement_ranges () =
     (Invalid_argument "Placement: keyspace k already placed")
     (fun () -> Placement.partition q ~server:"k" ~keys:10)
 
+(* more shards than keys: the trailing ranges are empty, keys still
+   route, and the out-of-range error reports the true bound (the last
+   non-empty range's hi), not the last range's *)
+let test_placement_more_shards_than_keys () =
+  let p = Placement.create (Topology.one_per_node ~shards:4) in
+  Placement.partition p ~server:"k" ~keys:2;
+  Alcotest.(check (list (triple int int int)))
+    "2 keys over 4 shards leaves two empty ranges"
+    [ (0, 0, 1); (1, 1, 2); (2, 2, 2); (3, 2, 2) ]
+    (Placement.ranges p ~server:"k");
+  Alcotest.(check int) "key 0 on shard 0" 0
+    (Placement.locate p ~server:"k" ~key:0).Placement.shard;
+  Alcotest.(check int) "key 1 on shard 1" 1
+    (Placement.locate p ~server:"k" ~key:1).Placement.shard;
+  Alcotest.(check_raises) "key 2 reports the real bound"
+    (Invalid_argument "Placement: key 2 outside keyspace k [0, 2)")
+    (fun () -> ignore (Placement.locate p ~server:"k" ~key:2));
+  Alcotest.(check_raises) "negative key reports the real bound"
+    (Invalid_argument "Placement: key -1 outside keyspace k [0, 2)")
+    (fun () -> ignore (Placement.locate p ~server:"k" ~key:(-1)))
+
 let test_placement_hashed () =
   let p = Placement.create (Topology.one_per_node ~shards:4) in
   Placement.partition_hashed p ~server:"bt";
@@ -506,6 +527,8 @@ let suites =
       [
         quick "topology units" test_topology_units;
         quick "placement ranges and locate" test_placement_ranges;
+        quick "placement with more shards than keys"
+          test_placement_more_shards_than_keys;
         quick "placement hashed keyspaces" test_placement_hashed;
         quick "range directory entries" test_range_entries;
         quick "lookup_owner across nodes" test_lookup_owner_across_nodes;
