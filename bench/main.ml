@@ -70,6 +70,8 @@ let scaleout () = Tabs_bench.Scaleout.print_scaleout ()
 
 let availability () = Tabs_bench.Availability.print_availability ()
 
+let simperf () = Tabs_bench.Simperf.print_simperf ()
+
 let shapes () =
   Tabs_bench.Report.print_shape_checks
     ~measured:(Lazy.force measured_results)
@@ -139,6 +141,7 @@ let sections =
     ("messages", messages);
     ("scaleout", scaleout);
     ("availability", availability);
+    ("simperf", simperf);
     ("shapes", shapes);
   ]
 

@@ -1,0 +1,298 @@
+(* Real-time throughput of the simulator core: simulated transactions
+   (and engine events) per wall-clock second, optimized core vs the
+   [Sim_profile] baseline (the seed's boxed event heap, linear metrics
+   index, hashtable epochs/per-node counters, list-append wait queues
+   and effect-based per-charge fiber lookup).
+
+   Two engine-core workloads drive the hot path at the fiber counts the
+   scale-out arc needs (thousands of mostly-idle sessions, dense
+   delay-0 wakeups, a standing population of timers) — there the seed's
+   O(n) wait-queue append is quadratic in the session count and
+   dominates, which is exactly the pathology ROADMAP item 5 names.
+   The CI gate (>= 10x on [messages]) applies to these. Two full-stack
+   arms run the PR 6 benchmarks unchanged for context; their hot path
+   is the effects-based fiber switch, which this PR does not touch, so
+   their speedup is reported but modest and not gated.
+
+   Both modes of every workload must agree exactly on simulated txns,
+   events and final virtual time — the determinism contract — and this
+   binary fails if they do not. *)
+
+open Tabs_sim
+
+let json_file = "BENCH_simperf.json"
+
+let gate_min_speedup = 10.0
+
+(* Engine-core workloads use a "fast hardware" cost model (Table 5-5
+   scaled down ~100x) so that service times stay small against the
+   dispatch rate and the session population is mostly idle-waiting —
+   the regime the scale-out benches live in. Costs only shape the
+   busy/idle mix; wall-clock throughput is what is measured. *)
+let core_model =
+  Cost_model.make
+    [
+      (Cost_model.Small_contiguous_message, 30);
+      (Cost_model.Datagram, 250);
+      (Cost_model.Inter_node_data_server_call, 890);
+    ]
+
+type run = {
+  txns : int;
+  events : int option; (* None when the harness cannot count events *)
+  now_us : int;
+  wall_s : float;
+}
+
+type arm = {
+  name : string;
+  kind : string; (* "engine_core" | "full_stack" *)
+  gated : bool;
+  fast : run;
+  base : run;
+}
+
+let txns_per_s r = float_of_int r.txns /. r.wall_s
+
+let speedup a = txns_per_s a.fast /. txns_per_s a.base
+
+(* ------------------------------------------------------------------ *)
+(* messages (engine-core): one dispatch fabric, [clients] session
+   fibers parked on a shared mailbox. A dispatcher delivers [per_tick]
+   messages every [tick_us]; each delivery wakes the head session,
+   which pays the message primitives and parks again. A standing
+   population of [timer_pop] per-session timers reschedules itself in
+   the far future throughout. One delivery = one simulated txn. *)
+
+let msg_clients = 4096
+
+let msg_nodes = 8
+
+let msg_tick_us = 250
+
+let msg_per_tick = 25
+
+let msg_horizon = 1_000_000 (* 1 virtual second *)
+
+let timer_pop = 2_000
+
+let timer_period = 100_000
+
+let run_messages_core () =
+  let engine = Engine.create ~cost_model:core_model () in
+  let mailbox : int Engine.Waitq.t = Engine.Waitq.create () in
+  let txns = ref 0 in
+  for i = 0 to msg_clients - 1 do
+    ignore
+      (Engine.spawn engine ~node:(i mod msg_nodes) (fun () ->
+           while Engine.now engine < msg_horizon do
+             let k = Engine.Waitq.wait mailbox in
+             Engine.charge engine Cost_model.Small_contiguous_message;
+             if k land 7 = 0 then Engine.charge engine Cost_model.Datagram;
+             incr txns
+           done))
+  done;
+  let next = ref 0 in
+  let rec tick () =
+    if Engine.now engine < msg_horizon then begin
+      for _ = 1 to msg_per_tick do
+        incr next;
+        ignore (Engine.Waitq.signal mailbox ~engine !next)
+      done;
+      Engine.at engine ~delay:msg_tick_us tick
+    end
+  in
+  Engine.at engine ~delay:msg_tick_us tick;
+  for i = 0 to timer_pop - 1 do
+    let rec again () =
+      if Engine.now engine < msg_horizon then
+        Engine.at engine ~delay:timer_period again
+    in
+    Engine.at engine ~delay:(1 + (i * 50 mod timer_period)) again
+  done;
+  let t0 = Unix.gettimeofday () in
+  Engine.run_until engine ~time:msg_horizon;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    txns = !txns;
+    events = Some (Engine.events_processed engine);
+    now_us = Engine.now engine;
+    wall_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* scaleout (engine-core): [shards] mailboxes on [shards] nodes, each
+   with its own dispatcher and session population; deliveries pay the
+   inter-node primitives, and a crash/respawn cycle rotates through the
+   shards exercising the epoch path (waiters of a crashed shard are
+   killed on wake and replaced). *)
+
+let sc_shards = 16
+
+let sc_clients = 4_096 (* 256 per shard *)
+
+let sc_tick_us = 250
+
+let sc_per_tick = 2 (* per shard *)
+
+let sc_horizon = 1_000_000
+
+let sc_crash_period = 200_000
+
+let run_scaleout_core () =
+  let engine = Engine.create ~cost_model:core_model () in
+  let mailboxes : int Engine.Waitq.t array =
+    Array.init sc_shards (fun _ -> Engine.Waitq.create ())
+  in
+  let txns = ref 0 in
+  let spawn_client shard =
+    ignore
+      (Engine.spawn engine ~node:shard (fun () ->
+           while Engine.now engine < sc_horizon do
+             let k = Engine.Waitq.wait mailboxes.(shard) in
+             Engine.charge engine Cost_model.Inter_node_data_server_call;
+             if k land 3 = 0 then Engine.charge engine Cost_model.Datagram;
+             incr txns
+           done))
+  in
+  let per_shard = sc_clients / sc_shards in
+  for i = 0 to sc_clients - 1 do
+    spawn_client (i mod sc_shards)
+  done;
+  let next = ref 0 in
+  Array.iteri
+    (fun shard mailbox ->
+      let rec tick () =
+        if Engine.now engine < sc_horizon then begin
+          for _ = 1 to sc_per_tick do
+            incr next;
+            ignore (Engine.Waitq.signal mailbox ~engine !next)
+          done;
+          Engine.at engine ~delay:sc_tick_us tick
+        end
+      in
+      Engine.at engine ~delay:((shard * 16) + sc_tick_us) tick)
+    mailboxes;
+  let cycle = ref 0 in
+  let rec crash_tick () =
+    if Engine.now engine < sc_horizon then begin
+      let shard = !cycle mod sc_shards in
+      incr cycle;
+      Engine.crash_node engine shard;
+      for _ = 1 to per_shard do
+        spawn_client shard
+      done;
+      Engine.at engine ~delay:sc_crash_period crash_tick
+    end
+  in
+  Engine.at engine ~delay:sc_crash_period crash_tick;
+  let t0 = Unix.gettimeofday () in
+  Engine.run_until engine ~time:sc_horizon;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  {
+    txns = !txns;
+    events = Some (Engine.events_processed engine);
+    now_us = Engine.now engine;
+    wall_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* full-stack arms: the PR 6 benchmarks unchanged, timed end to end
+   (cluster construction included; the run dominates). *)
+
+let run_tabs_messages () =
+  let t0 = Unix.gettimeofday () in
+  let p = Messages.run_point ~workers:16 () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { txns = p.Messages.committed; events = None; now_us = 0; wall_s }
+
+let run_tabs_scaleout () =
+  let t0 = Unix.gettimeofday () in
+  let s =
+    Generator.run ~group_commit:Scaleout.gc_config
+      { Generator.default with shards = 8; offered_load = 600. }
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  { txns = s.Generator.committed; events = None; now_us = 0; wall_s }
+
+(* ------------------------------------------------------------------ *)
+
+let run_arm ~name ~kind ~gated f =
+  let fast = Sim_profile.with_baseline false f in
+  let base = Sim_profile.with_baseline true f in
+  (* determinism contract: only wall clock may differ between modes *)
+  if fast.txns <> base.txns || fast.events <> base.events
+     || fast.now_us <> base.now_us
+  then begin
+    Printf.eprintf
+      "simperf: %s: fast and baseline modes diverged (txns %d/%d, now %d/%d)\n"
+      name fast.txns base.txns fast.now_us base.now_us;
+    exit 1
+  end;
+  { name; kind; gated; fast; base }
+
+let arm_json oc (a : arm) =
+  let events_field r =
+    match r.events with
+    | None -> ""
+    | Some e ->
+        Printf.sprintf ", \"events\": %d, \"events_per_s\": %.0f" e
+          (float_of_int e /. r.wall_s)
+  in
+  Printf.fprintf oc
+    "    {\"name\": \"%s\", \"kind\": \"%s\", \"gated\": %b, \"txns\": %d,\n\
+    \     \"fast\": {\"wall_s\": %.4f, \"txns_per_s\": %.0f%s},\n\
+    \     \"baseline\": {\"wall_s\": %.4f, \"txns_per_s\": %.0f%s},\n\
+    \     \"speedup\": %.2f}"
+    a.name a.kind a.gated a.fast.txns a.fast.wall_s (txns_per_s a.fast)
+    (events_field a.fast) a.base.wall_s (txns_per_s a.base)
+    (events_field a.base) (speedup a)
+
+let write_json arms =
+  let oc = open_out json_file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"simperf\",\n\
+    \  \"gate_workload\": \"messages\",\n\
+    \  \"gate_min_speedup\": %.1f,\n\
+    \  \"workloads\": [\n"
+    gate_min_speedup;
+  List.iteri
+    (fun i a ->
+      if i > 0 then output_string oc ",\n";
+      arm_json oc a)
+    arms;
+  output_string oc "\n  ]\n}\n";
+  close_out oc
+
+let print_simperf () =
+  let arms =
+    [
+      run_arm ~name:"messages" ~kind:"engine_core" ~gated:true
+        run_messages_core;
+      run_arm ~name:"scaleout" ~kind:"engine_core" ~gated:false
+        run_scaleout_core;
+      run_arm ~name:"tabs_messages" ~kind:"full_stack" ~gated:false
+        run_tabs_messages;
+      run_arm ~name:"tabs_scaleout" ~kind:"full_stack" ~gated:false
+        run_tabs_scaleout;
+    ]
+  in
+  Printf.printf
+    "\nSimulator-core throughput, optimized vs seed-baseline mode:\n";
+  Printf.printf "  %-14s %10s %14s %14s %9s\n" "workload" "sim txns"
+    "fast txn/s" "base txn/s" "speedup";
+  List.iter
+    (fun a ->
+      Printf.printf "  %-14s %10d %14.0f %14.0f %8.2fx%s\n" a.name a.fast.txns
+        (txns_per_s a.fast) (txns_per_s a.base) (speedup a)
+        (if a.gated then "  [gate >= 10x]" else ""))
+    arms;
+  (match List.find_opt (fun a -> a.gated) arms with
+  | Some a when speedup a < gate_min_speedup ->
+      Printf.printf
+        "  WARNING: gated workload %s below %.0fx (CI will fail)\n" a.name
+        gate_min_speedup
+  | _ -> ());
+  write_json arms;
+  Printf.printf "  wrote %s\n" json_file

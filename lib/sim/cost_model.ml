@@ -38,6 +38,8 @@ let index = function
 
 let count = 10
 
+let to_int = index
+
 let name = function
   | Data_server_call -> "Data Server Call"
   | Inter_node_data_server_call -> "Inter-Node Data Server Call"

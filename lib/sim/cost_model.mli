@@ -27,6 +27,17 @@ val all : primitive list
 
 val name : primitive -> string
 
+(** [to_int p] is [p]'s dense index in Table 5-1 order,
+    [0 .. count - 1] — a single branchless match, used to key
+    per-primitive counter arrays without scanning {!all}. *)
+val to_int : primitive -> int
+
+(** [index] is {!to_int} (historical name). *)
+val index : primitive -> int
+
+(** Number of primitives ([List.length all]). *)
+val count : int
+
 (** A cost model maps each primitive to a latency in microseconds. *)
 type t
 

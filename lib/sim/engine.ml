@@ -1,31 +1,59 @@
+(* Discrete-event engine. Hot-path layout notes:
+
+   - events live in the two-tier {!Event_queue} (FIFO ring for the
+     current instant, struct-of-arrays heap for the future); the run
+     loops use the non-allocating [min_key]/[pop] pair;
+   - node crash epochs are a flat int array indexed by node id, so the
+     per-resume liveness check is two loads;
+   - [current_node] caches the node of the running fiber so that
+     {!charge}'s per-node attribution is a field read instead of a
+     [Get_fiber] effect (a heap-allocated continuation round-trip);
+   - wait queues are circular buffers with an O(1) live count.
+
+   In {!Sim_profile} baseline mode each of these reverts to the seed
+   implementation (boxed heap, epoch hashtable, effect-based lookup,
+   list-append queues) with identical observable behavior. *)
+
 exception Killed
 
 type t = {
   mutable now : int;
-  events : (unit -> unit) Heap.t;
+  baseline : bool;
+  events : (unit -> unit) Event_queue.t;
   metrics : Metrics.t;
   mutable model : Cost_model.t;
   cpu : (string, int ref) Hashtbl.t;
-  epochs : (int, int) Hashtbl.t;
+  epochs_tbl : (int, int) Hashtbl.t; (* baseline arm *)
+  mutable epochs : int array; (* fast arm, indexed by node id *)
   mutable next_fiber : int;
   mutable tracer : Trace.sink option;
+  mutable current_node : int; (* node of the running fiber; -1 = none *)
+  mutable events_processed : int;
 }
 
-type fiber = { id : int; node : int option; epoch : int; engine : t }
+(* [node_id] is -1 for fibers not bound to a node. *)
+type fiber = { id : int; node_id : int; epoch : int; engine : t }
 
 let create ?(cost_model = Cost_model.measured) () =
+  let baseline = Sim_profile.baseline () in
   {
     now = 0;
-    events = Heap.create ();
+    baseline;
+    events = Event_queue.create ~baseline ();
     metrics = Metrics.create ();
     model = cost_model;
     cpu = Hashtbl.create 8;
-    epochs = Hashtbl.create 8;
+    epochs_tbl = Hashtbl.create 8;
+    epochs = [||];
     next_fiber = 0;
     tracer = None;
+    current_node = -1;
+    events_processed = 0;
   }
 
 let now t = t.now
+
+let events_processed t = t.events_processed
 
 let set_cost_model t m = t.model <- m
 
@@ -41,17 +69,33 @@ let emit t ev = match t.tracer with None -> () | Some sink -> sink ~time:t.now e
 
 let at t ~delay fn =
   assert (delay >= 0);
-  Heap.push t.events ~key:(t.now + delay) fn
+  Event_queue.push t.events ~now:t.now ~key:(t.now + delay) fn
 
 let node_epoch t node =
-  match Hashtbl.find_opt t.epochs node with Some e -> e | None -> 0
+  if t.baseline then
+    match Hashtbl.find_opt t.epochs_tbl node with Some e -> e | None -> 0
+  else if node >= 0 && node < Array.length t.epochs then t.epochs.(node)
+  else 0
 
-let crash_node t node = Hashtbl.replace t.epochs node (node_epoch t node + 1)
+let crash_node t node =
+  if node < 0 then invalid_arg "Engine.crash_node: negative node";
+  if t.baseline then
+    Hashtbl.replace t.epochs_tbl node (node_epoch t node + 1)
+  else begin
+    if node >= Array.length t.epochs then begin
+      let cap = ref (max 8 (Array.length t.epochs * 2)) in
+      while node >= !cap do
+        cap := !cap * 2
+      done;
+      let epochs = Array.make !cap 0 in
+      Array.blit t.epochs 0 epochs 0 (Array.length t.epochs);
+      t.epochs <- epochs
+    end;
+    t.epochs.(node) <- t.epochs.(node) + 1
+  end
 
 let fiber_dead f =
-  match f.node with
-  | None -> false
-  | Some node -> node_epoch f.engine node <> f.epoch
+  f.node_id >= 0 && node_epoch f.engine f.node_id <> f.epoch
 
 (* Effects: [Suspend reg] hands the fiber's continuation to [reg], which
    stores it (in a wait queue or a timer event) for later resumption.
@@ -60,17 +104,38 @@ type _ Effect.t +=
   | Suspend : (('a, unit) Effect.Deep.continuation -> unit) -> 'a Effect.t
   | Get_fiber : fiber Effect.t
 
+(* [current_node] is set for the duration of a fiber step (continue /
+   discontinue / initial match_with) and cleared when the step returns
+   — i.e. when the fiber suspends or finishes. Steps never nest:
+   everything a running fiber triggers (spawns, wakeups) is deferred
+   through the event queue. An exception escaping a step aborts the
+   whole run, so no unwind protection is needed here. *)
 let resume (fiber : fiber) k v =
-  if fiber_dead fiber then
-    try Effect.Deep.discontinue k Killed with Killed -> ()
-  else Effect.Deep.continue k v
+  let eng = fiber.engine in
+  if fiber_dead fiber then begin
+    eng.current_node <- fiber.node_id;
+    (try Effect.Deep.discontinue k Killed with Killed -> ());
+    eng.current_node <- -1
+  end
+  else begin
+    eng.current_node <- fiber.node_id;
+    Effect.Deep.continue k v;
+    eng.current_node <- -1
+  end
 
 let spawn t ?node fn =
+  let node_id =
+    match node with
+    | None -> -1
+    | Some n ->
+        if n < 0 then invalid_arg "Engine.spawn: negative node";
+        n
+  in
   let fiber =
     {
       id = t.next_fiber;
-      node;
-      epoch = (match node with None -> 0 | Some n -> node_epoch t n);
+      node_id;
+      epoch = (if node_id < 0 then 0 else node_epoch t node_id);
       engine = t;
     }
   in
@@ -94,40 +159,50 @@ let spawn t ?node fn =
     }
   in
   at t ~delay:0 (fun () ->
-      if not (fiber_dead fiber) then Effect.Deep.match_with fn () handler);
+      if not (fiber_dead fiber) then begin
+        t.current_node <- fiber.node_id;
+        Effect.Deep.match_with fn () handler;
+        t.current_node <- -1
+      end);
   fiber
 
 let run t =
+  let q = t.events in
   let processed = ref 0 in
-  let rec loop () =
-    if not (Heap.is_empty t.events) then begin
-      let time, fn = Heap.pop_min t.events in
-      assert (time >= t.now);
-      t.now <- time;
-      incr processed;
-      fn ();
-      loop ()
-    end
-  in
-  loop ();
+  while not (Event_queue.is_empty q) do
+    let time = Event_queue.min_key q in
+    let fn = Event_queue.pop q in
+    assert (time >= t.now);
+    t.now <- time;
+    incr processed;
+    fn ()
+  done;
+  t.events_processed <- t.events_processed + !processed;
   !processed
 
 let run_until t ~time =
-  let rec loop () =
-    match Heap.peek_min_key t.events with
-    | Some key when key <= time ->
-        let event_time, fn = Heap.pop_min t.events in
-        t.now <- event_time;
-        fn ();
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+  let q = t.events in
+  let running = ref true in
+  while !running do
+    if Event_queue.is_empty q then running := false
+    else begin
+      let key = Event_queue.min_key q in
+      if key > time then running := false
+      else begin
+        let fn = Event_queue.pop q in
+        t.now <- key;
+        t.events_processed <- t.events_processed + 1;
+        fn ()
+      end
+    end
+  done;
   if t.now < time then t.now <- time
 
 let self () = Effect.perform Get_fiber
 
-let fiber_node () = (self ()).node
+let fiber_node () =
+  let f = self () in
+  if f.node_id < 0 then None else Some f.node_id
 
 let delay micros =
   if micros < 0 then invalid_arg "Engine.delay: negative";
@@ -142,11 +217,18 @@ let record_only t prim = Metrics.record t.metrics prim
 let elide t prim = Metrics.record_elided t.metrics prim
 
 (* Per-node rollup: charges paid inside a node-bound fiber are also
-   attributed to that node (observational only — no cost, no delay). *)
+   attributed to that node (observational only — no cost, no delay).
+   Fast path reads the cached [current_node]; baseline performs the
+   seed's [Get_fiber] effect. *)
 let attribute t prim ~num ~den =
-  match fiber_node () with
-  | Some node -> Metrics.record_node t.metrics ~node prim ~num ~den
-  | None -> ()
+  if t.baseline then
+    match fiber_node () with
+    | Some node -> Metrics.record_node t.metrics ~node prim ~num ~den
+    | None -> ()
+  else begin
+    let node = t.current_node in
+    if node >= 0 then Metrics.record_node t.metrics ~node prim ~num ~den
+  end
 
 let charge t prim =
   record_only t prim;
@@ -183,12 +265,51 @@ module Waitq = struct
   (* [state] is true once the waiter has been woken or timed out; stale
      entries are skipped by [signal]. *)
 
-  type 'a t = { mutable queue : 'a waiter list }
+  (* Fast arm: circular buffer of waiters in arrival order, plus a
+     [live] count maintained by [wake] so [waiters] is O(1). Baseline
+     arm: the seed's list with O(n) append and O(n) count. *)
+  type 'a t = {
+    baseline : bool;
+    mutable queue : 'a waiter list; (* baseline arm *)
+    mutable ring : 'a waiter array; (* fast arm *)
+    mutable head : int;
+    mutable count : int;
+    mutable live : int;
+  }
 
-  let create () = { queue = [] }
+  let vacant : unit -> 'a = fun () -> Obj.magic 0
 
-  let push q w = q.queue <- q.queue @ [ w ]
+  let create () =
+    {
+      baseline = Sim_profile.baseline ();
+      queue = [];
+      ring = Array.make 16 (vacant ());
+      head = 0;
+      count = 0;
+      live = 0;
+    }
 
+  let ring_grow q =
+    let cap = Array.length q.ring in
+    let ring = Array.make (2 * cap) (vacant ()) in
+    for i = 0 to q.count - 1 do
+      ring.(i) <- q.ring.((q.head + i) land (cap - 1))
+    done;
+    q.ring <- ring;
+    q.head <- 0
+
+  let push q w =
+    q.live <- q.live + 1;
+    if q.baseline then q.queue <- q.queue @ [ w ]
+    else begin
+      if q.count = Array.length q.ring then ring_grow q;
+      let cap = Array.length q.ring in
+      q.ring.((q.head + q.count) land (cap - 1)) <- w;
+      q.count <- q.count + 1
+    end
+
+  (* Waking (by signal or timeout) is the one false->true transition of
+     [state]; it owns the [live] decrement. *)
   let wait q =
     let fiber = self () in
     match
@@ -199,6 +320,7 @@ module Waitq = struct
              let wake v =
                if not !state then begin
                  state := true;
+                 q.live <- q.live - 1;
                  at fiber.engine ~delay:0 (fun () -> resume fiber k v)
                end
              in
@@ -216,6 +338,7 @@ module Waitq = struct
            let wake v =
              if not !state then begin
                state := true;
+               q.live <- q.live - 1;
                at fiber.engine ~delay:0 (fun () -> resume fiber k v)
              end
            in
@@ -223,15 +346,28 @@ module Waitq = struct
            at engine ~delay:timeout (fun () -> wake None)))
 
   let rec signal q ~engine v =
-    match q.queue with
-    | [] -> false
-    | w :: rest ->
-        q.queue <- rest;
-        if !(w.state) then signal q ~engine v
-        else begin
-          w.wake (Some v);
-          true
-        end
+    if q.baseline then
+      match q.queue with
+      | [] -> false
+      | w :: rest ->
+          q.queue <- rest;
+          if !(w.state) then signal q ~engine v
+          else begin
+            w.wake (Some v);
+            true
+          end
+    else if q.count = 0 then false
+    else begin
+      let w = q.ring.(q.head) in
+      q.ring.(q.head) <- vacant ();
+      q.head <- (q.head + 1) land (Array.length q.ring - 1);
+      q.count <- q.count - 1;
+      if !(w.state) then signal q ~engine v
+      else begin
+        w.wake (Some v);
+        true
+      end
+    end
 
   let signal_all q ~engine v =
     let woken = ref 0 in
@@ -240,5 +376,8 @@ module Waitq = struct
     done;
     !woken
 
-  let waiters q = List.length (List.filter (fun w -> not !(w.state)) q.queue)
+  let waiters q =
+    if q.baseline then
+      List.length (List.filter (fun w -> not !(w.state)) q.queue)
+    else q.live
 end

@@ -72,6 +72,11 @@ val run : t -> int
     advances the clock to [time]. *)
 val run_until : t -> time:int -> unit
 
+(** [events_processed t] is the total number of events executed by
+    {!run} and {!run_until} over the engine's lifetime — the
+    denominator for events-per-second throughput reporting. *)
+val events_processed : t -> int
+
 (** [crash_node t node] invalidates every fiber bound to [node]: each is
     discontinued with {!Killed} when next scheduled. *)
 val crash_node : t -> int -> unit

@@ -1,0 +1,197 @@
+(* The engine's event queue: a lazy near/far two-tier structure.
+
+   The dominant schedule in every TABS workload is [delay:0] — wait-queue
+   wakeups, fiber spawns, elided hops — and a binary heap is worst-case
+   for exactly that push: the new event is the global minimum, so it
+   sifts the full depth of the heap on insert and forces a full-depth
+   sift-down when popped. The near tier is a plain FIFO ring holding
+   only events scheduled for the current instant ([key = now]); they
+   are pushed and popped in O(1) and never touch the far heap, however
+   many timers it holds. Everything scheduled in the future goes to the
+   far tier, the struct-of-arrays {!Heap}.
+
+   Determinism: a single [next_seq] counter spans both tiers, and pop
+   order is by (key, seq) exactly as in a single heap. Two invariants
+   make the merge trivial:
+   - ring events all share one key, [ring_key], and while the ring is
+     non-empty no event with a smaller key can exist (the clock only
+     reaches [ring_key] by draining everything earlier);
+   - a far event with key = [ring_key] was necessarily pushed at an
+     earlier instant, so its seq is smaller and it drains first.
+   The pop path still compares (key, seq) across tiers, so order is
+   correct even without leaning on the second invariant.
+
+   The seed implementation — one boxed binary heap of
+   ['a entry option array] — is kept verbatim below as the
+   {!Sim_profile} baseline arm for wall-clock A/B runs. *)
+
+module Legacy = struct
+  (* the seed heap, byte-for-byte (lib/sim/heap.ml at PR 7) *)
+  type 'a entry = { key : int; seq : int; value : 'a }
+
+  type 'a t = {
+    mutable data : 'a entry option array;
+    mutable size : int;
+    mutable next_seq : int;
+  }
+
+  let create () = { data = Array.make 64 None; size = 0; next_seq = 0 }
+
+  let is_empty t = t.size = 0
+
+  let length t = t.size
+
+  let entry_lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+  let get t i =
+    match t.data.(i) with Some e -> e | None -> assert false
+
+  let grow t =
+    let data = Array.make (2 * Array.length t.data) None in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if entry_lt (get t i) (get t parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+    if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let push t ~key value =
+    if t.size = Array.length t.data then grow t;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.data.(t.size) <- Some { key; seq; value };
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let pop_min t =
+    if t.size = 0 then raise Not_found;
+    let min = get t 0 in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    (min.key, min.value)
+
+  let min_key t =
+    if t.size = 0 then raise Not_found;
+    (get t 0).key
+end
+
+let vacant : unit -> 'a = fun () -> Obj.magic 0
+
+type 'a t = {
+  baseline : bool;
+  legacy : 'a Legacy.t;
+  heap : 'a Heap.t;
+  (* near tier: FIFO ring of events for the current instant *)
+  mutable ring_vals : 'a array;
+  mutable ring_seqs : int array;
+  mutable head : int;
+  mutable count : int;
+  mutable ring_key : int;
+  mutable next_seq : int;
+}
+
+let create ?(baseline = Sim_profile.baseline ()) () =
+  {
+    baseline;
+    legacy = Legacy.create ();
+    heap = Heap.create ();
+    ring_vals = Array.make 64 (vacant ());
+    ring_seqs = Array.make 64 0;
+    head = 0;
+    count = 0;
+    ring_key = min_int;
+    next_seq = 0;
+  }
+
+let baseline t = t.baseline
+
+let is_empty t =
+  if t.baseline then Legacy.is_empty t.legacy
+  else t.count = 0 && Heap.is_empty t.heap
+
+let length t =
+  if t.baseline then Legacy.length t.legacy else t.count + Heap.length t.heap
+
+let ring_grow t =
+  let cap = Array.length t.ring_vals in
+  let vals = Array.make (2 * cap) (vacant ()) in
+  let seqs = Array.make (2 * cap) 0 in
+  for i = 0 to t.count - 1 do
+    let j = (t.head + i) land (cap - 1) in
+    vals.(i) <- t.ring_vals.(j);
+    seqs.(i) <- t.ring_seqs.(j)
+  done;
+  t.ring_vals <- vals;
+  t.ring_seqs <- seqs;
+  t.head <- 0
+
+let ring_push t seq v =
+  let cap = Array.length t.ring_vals in
+  if t.count = cap then ring_grow t;
+  let cap = Array.length t.ring_vals in
+  let tail = (t.head + t.count) land (cap - 1) in
+  t.ring_vals.(tail) <- v;
+  t.ring_seqs.(tail) <- seq;
+  t.count <- t.count + 1
+
+let ring_pop t =
+  let v = t.ring_vals.(t.head) in
+  t.ring_vals.(t.head) <- vacant ();
+  t.head <- (t.head + 1) land (Array.length t.ring_vals - 1);
+  t.count <- t.count - 1;
+  v
+
+let push t ~now ~key v =
+  if t.baseline then Legacy.push t.legacy ~key v
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    if key = now && (t.count = 0 || t.ring_key = key) then begin
+      if t.count = 0 then t.ring_key <- key;
+      ring_push t seq v
+    end
+    else Heap.push_seq t.heap ~key ~seq v
+  end
+
+let min_key t =
+  if t.baseline then Legacy.min_key t.legacy
+  else if t.count = 0 then Heap.min_key t.heap
+  else if Heap.is_empty t.heap then t.ring_key
+  else begin
+    let hk = Heap.min_key t.heap in
+    if hk < t.ring_key then hk else t.ring_key
+  end
+
+let pop t =
+  if t.baseline then snd (Legacy.pop_min t.legacy)
+  else if t.count = 0 then Heap.pop t.heap
+  else if Heap.is_empty t.heap then ring_pop t
+  else begin
+    let hk = Heap.min_key t.heap in
+    if
+      hk < t.ring_key
+      || (hk = t.ring_key && Heap.min_seq t.heap < t.ring_seqs.(t.head))
+    then Heap.pop t.heap
+    else ring_pop t
+  end

@@ -1,7 +1,10 @@
 (** Imperative binary min-heap keyed by integer priority.
 
-    Used as the event queue of the simulation engine; ties are broken by
-    insertion order so that the simulation is deterministic. *)
+    Used as the far tier of the simulation engine's event queue; ties
+    are broken by insertion order ([seq]) so that the simulation is
+    deterministic. The layout is struct-of-arrays (unboxed int key and
+    seq arrays beside a value array), and the [min_key] / [min_seq] /
+    [pop] / [push_seq] quartet never allocates. *)
 
 type 'a t
 
@@ -11,15 +14,35 @@ val is_empty : 'a t -> bool
 
 val length : 'a t -> int
 
-(** [push t ~key v] inserts [v] with priority [key]. *)
+(** [push t ~key v] inserts [v] with priority [key], drawing the
+    tie-break [seq] from the heap's own counter. *)
 val push : 'a t -> key:int -> 'a -> unit
 
-(** [pop_min t] removes and returns the minimum-key element, earliest
-    inserted first among equal keys. Raises [Not_found] when empty. *)
+(** [push_seq t ~key ~seq v] inserts with an explicit tie-break seq —
+    used when the seq counter is owned by a wrapper (the two-tier
+    {!Event_queue}) so FIFO order holds across tiers. Keeps the
+    internal counter above [seq]; do not interleave with [push] using
+    stale external seqs. *)
+val push_seq : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** [min_key t] / [min_seq t] are the root's priority and tie-break,
+    without allocating. Raise [Not_found] when empty. *)
+val min_key : 'a t -> int
+
+val min_seq : 'a t -> int
+
+(** [pop t] removes and returns the minimum-(key, seq) value without
+    allocating. Raises [Not_found] when empty. *)
+val pop : 'a t -> 'a
+
+(** [pop_min t] is [(min_key t, pop t)] — allocates the pair; prefer
+    {!min_key} + {!pop} on hot paths. *)
 val pop_min : 'a t -> int * 'a
 
-(** [peek_min_key t] is the smallest key, if any. *)
+(** [peek_min_key t] is the smallest key, if any (allocates the
+    option; prefer {!is_empty} + {!min_key} on hot paths). *)
 val peek_min_key : 'a t -> int option
 
-(** [clear t] removes every element. *)
+(** [clear t] removes every element (touching only the occupied
+    prefix of the backing arrays). *)
 val clear : 'a t -> unit

@@ -1,0 +1,29 @@
+(* A/B switch between the optimized simulator core and the seed ("PR 0")
+   implementation of its hot data structures.
+
+   Baseline mode restores, verbatim, the seed-era hot path: the boxed
+   binary event heap, the linear Metrics index scan, the hashtable
+   per-node counters and node epochs, the list-append wait queues and
+   the effect-based per-charge fiber lookup. The two paths are
+   observationally identical — same event order, same virtual times,
+   same metrics — which the determinism guard test asserts; only the
+   wall-clock cost differs. `bench/main.exe simperf` runs every workload
+   under both modes and reports the ratio.
+
+   The mode is captured by each Engine/Metrics at creation, so flipping
+   it mid-run never changes an existing engine's behavior. *)
+
+let flag =
+  ref
+    (match Sys.getenv_opt "TABS_SIM_BASELINE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let baseline () = !flag
+
+let set_baseline b = flag := b
+
+let with_baseline b f =
+  let prev = !flag in
+  flag := b;
+  Fun.protect ~finally:(fun () -> flag := prev) f

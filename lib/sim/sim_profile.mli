@@ -1,0 +1,19 @@
+(** Debug switch selecting the simulator-core implementation.
+
+    [baseline ()] true selects the seed-era hot path (boxed event heap,
+    linear metrics index, hashtable epochs and per-node counters,
+    list-append wait queues, effect-based per-charge fiber lookup);
+    false (the default) selects the optimized core. Both orders of
+    events, virtual times and metrics are bit-identical — only wall
+    clock differs. Engines and metrics capture the mode at creation.
+
+    Set [TABS_SIM_BASELINE=1] in the environment to default to the
+    seed path (e.g. to run the whole test suite against it). *)
+
+val baseline : unit -> bool
+
+val set_baseline : bool -> unit
+
+(** [with_baseline b f] runs [f] with the mode set to [b], restoring the
+    previous mode afterwards (also on exceptions). *)
+val with_baseline : bool -> (unit -> 'a) -> 'a

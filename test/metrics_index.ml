@@ -4,11 +4,5 @@
 open Tabs_sim
 
 let weight (r : Tabs_bench.Workloads.result) p =
-  let idx =
-    let rec find i = function
-      | [] -> assert false
-      | q :: rest -> if q = p then i else find (i + 1) rest
-    in
-    find 0 Cost_model.all
-  in
+  let idx = Cost_model.to_int p in
   r.pre.(idx) +. r.commit.(idx)

@@ -1,0 +1,122 @@
+(* Determinism guard for the PR 8 simulator-core rewrite: the optimized
+   core ([Sim_profile] fast mode — two-tier event queue, O(1) metrics
+   index, epoch arrays, ring wait queues, cached fiber node) and the
+   seed baseline mode must be observationally indistinguishable. Same
+   seed, same workload => byte-identical rendered trace JSONL, equal
+   metrics down to the per-node rollup, equal final virtual time and
+   equal event count — on a workload that exercises loss,
+   retransmission, timeouts and distributed commit. *)
+
+open Tabs_sim
+open Tabs_net
+open Tabs_core
+open Tabs_servers
+open Tabs_obs
+
+let nodes = 3
+
+let txns = 5
+
+let server_name dest = Printf.sprintf "a%d" dest
+
+(* One lossy-commit run; returns every observable artifact rendered to
+   strings so the two modes can be compared byte-for-byte. *)
+let fingerprint ~loss ~seed () =
+  let c = Cluster.create ~nodes ~seed () in
+  List.iter
+    (fun node ->
+      ignore
+        (Int_array_server.create (Node.env node)
+           ~name:(server_name (Node.id node))
+           ~segment:1 ~cells:16 ()))
+    (Cluster.nodes c);
+  let engine = Cluster.engine c in
+  let recorder = Recorder.attach engine in
+  Network.set_loss (Cluster.network c) loss;
+  let n0 = Cluster.node c 0 in
+  let tm = Node.tm n0 and rpc = Node.rpc n0 in
+  Cluster.spawn c ~node:0 (fun () ->
+      for i = 0 to txns - 1 do
+        try
+          Txn_lib.execute_transaction tm (fun tid ->
+              for dest = 0 to nodes - 1 do
+                Int_array_server.call_set rpc ~dest ~server:(server_name dest)
+                  tid i (100 + i)
+              done)
+        with
+        | Errors.Lock_timeout _ | Errors.Deadlock _
+        | Errors.Transaction_is_aborted _
+        | Rpc.Rpc_timeout _ ->
+            ()
+      done);
+  Cluster.run_until c ~time:600_000_000;
+  Network.set_loss (Cluster.network c) 0.0;
+  Cluster.run c;
+  let trace = List.map Jsonl.entry_to_json (Recorder.entries recorder) in
+  Recorder.detach recorder;
+  let m = Engine.metrics engine in
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s=%.3f/%.3f;" (Cost_model.name p) (Metrics.weight m p)
+           (Metrics.elided_weight m p)))
+    Cost_model.all;
+  let msgs = Metrics.msgs m in
+  Buffer.add_string buf
+    (Printf.sprintf "wire=%d frames=%d piggy=%d delayed=%d covered=%d dup=%d;"
+       msgs.Metrics.wire_messages msgs.Metrics.carried_frames
+       msgs.Metrics.piggybacked_acks msgs.Metrics.delayed_acks
+       msgs.Metrics.ack_deliveries_covered msgs.Metrics.duplicate_reacks);
+  Buffer.add_string buf
+    (Printf.sprintf "abandoned=%d;" (Metrics.tm m).Metrics.resolutions_abandoned);
+  List.iter
+    (fun node ->
+      List.iter
+        (fun p ->
+          let w = Metrics.node_weight m ~node p in
+          if w > 0. then
+            Buffer.add_string buf
+              (Printf.sprintf "n%d:%s=%.3f;" node (Cost_model.name p) w))
+        Cost_model.all)
+    (Metrics.nodes_tracked m);
+  (trace, Buffer.contents buf, Engine.now engine, Engine.events_processed engine)
+
+let check_same ~loss ~seed =
+  let fast = Sim_profile.with_baseline false (fingerprint ~loss ~seed) in
+  let base = Sim_profile.with_baseline true (fingerprint ~loss ~seed) in
+  let trace_f, metrics_f, now_f, events_f = fast in
+  let trace_b, metrics_b, now_b, events_b = base in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: trace length" seed)
+    (List.length trace_b) (List.length trace_f);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "seed %d: trace line %d differs:\n  fast: %s\n  base: %s"
+          seed i a b)
+    (List.combine trace_f trace_b);
+  Alcotest.(check string)
+    (Printf.sprintf "seed %d: metrics fingerprint" seed)
+    metrics_b metrics_f;
+  Alcotest.(check int) (Printf.sprintf "seed %d: final now" seed) now_b now_f;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: events processed" seed)
+    events_b events_f
+
+let test_lossy_identical () =
+  List.iter (fun seed -> check_same ~loss:0.20 ~seed) [ 1; 5; 9 ]
+
+let test_lossless_identical () = check_same ~loss:0.0 ~seed:3
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sim.determinism",
+      [
+        quick "fast = baseline on lossy distributed commit"
+          test_lossy_identical;
+        quick "fast = baseline on clean run" test_lossless_identical;
+      ] );
+  ]

@@ -220,6 +220,90 @@ let prop_heap_sorts =
       let out = List.init (List.length keys) (fun _ -> fst (Heap.pop_min h)) in
       out = List.sort compare keys)
 
+(* PR 8 struct-of-arrays heap against a reference sorted-list model:
+   same (key, seq) order, FIFO among equal keys (values are insertion
+   ranks, so a tie broken out of order is visible). *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model (FIFO ties)"
+    ~count:200
+    QCheck.(list (option (int_range 0 15)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let rank = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some key ->
+              let v = !rank in
+              incr rank;
+              Heap.push h ~key v;
+              model :=
+                List.merge
+                  (fun (k1, s1) (k2, s2) -> compare (k1, s1) (k2, s2))
+                  !model
+                  [ (key, v) ]
+          | None -> (
+              match !model with
+              | [] -> if not (Heap.is_empty h) then ok := false
+              | (k, v) :: rest ->
+                  model := rest;
+                  if Heap.pop_min h <> (k, v) then ok := false))
+        ops;
+      (* drain what remains *)
+      List.iter
+        (fun (k, v) -> if Heap.pop_min h <> (k, v) then ok := false)
+        !model;
+      !ok && Heap.is_empty h)
+
+let test_heap_clear_reusable () =
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.push h ~key:(100 - i) i
+  done;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.push h ~key:7 42;
+  Alcotest.(check (pair int int)) "usable after clear" (7, 42) (Heap.pop_min h)
+
+(* Two-tier event queue vs the seed boxed heap kept as its baseline
+   arm: identical (key, value) pop order on arbitrary interleavings of
+   dense delay-0 and short-delay pushes — the engine's determinism
+   contract across the PR 8 queue swap. *)
+let prop_event_queue_modes =
+  QCheck.Test.make ~name:"event queue: fast mode = seed order" ~count:200
+    QCheck.(list (option (int_range 0 3)))
+    (fun ops ->
+      let fast = Event_queue.create ~baseline:false () in
+      let slow = Event_queue.create ~baseline:true () in
+      let now = ref 0 in
+      let stamp = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        let k1 = Event_queue.min_key fast and k2 = Event_queue.min_key slow in
+        let v1 = Event_queue.pop fast and v2 = Event_queue.pop slow in
+        if k1 <> k2 || v1 <> v2 then ok := false;
+        now := k1
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Some d ->
+              incr stamp;
+              Event_queue.push fast ~now:!now ~key:(!now + d) !stamp;
+              Event_queue.push slow ~now:!now ~key:(!now + d) !stamp
+          | None ->
+              if Event_queue.is_empty fast <> Event_queue.is_empty slow then
+                ok := false
+              else if not (Event_queue.is_empty fast) then pop_both ())
+        ops;
+      while (not (Event_queue.is_empty fast)) && not (Event_queue.is_empty slow)
+      do
+        pop_both ()
+      done;
+      !ok && Event_queue.is_empty fast && Event_queue.is_empty slow)
+
 let test_simulation_deterministic () =
   (* two identical runs of a small workload produce byte-identical
      virtual times and metrics — the property every benchmark and
@@ -247,6 +331,57 @@ let test_simulation_deterministic () =
   let a = run () and b = run () in
   Alcotest.(check bool) "identical traces" true (a = b)
 
+(* Satellite regression for the seed's [q.queue @ [w]] O(n) append:
+   grant order must stay strictly FIFO at 10^3 waiters, and [waiters]
+   must count them without scanning. *)
+let test_waitq_fifo_1000 () =
+  let e = Engine.create () in
+  let q = Engine.Waitq.create () in
+  let order = ref [] in
+  let n = 1_000 in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.spawn e (fun () ->
+           let v = Engine.Waitq.wait q in
+           order := (i, v) :: !order))
+  done;
+  Engine.at e ~delay:10 (fun () ->
+      Alcotest.(check int) "all parked and counted" n (Engine.Waitq.waiters q));
+  Engine.at e ~delay:20 (fun () ->
+      for v = 0 to n - 1 do
+        ignore (Engine.Waitq.signal q ~engine:e v)
+      done);
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair int int)))
+    "FIFO grant order at 10^3 waiters"
+    (List.init n (fun i -> (i, i)))
+    (List.rev !order);
+  Alcotest.(check int) "drained" 0 (Engine.Waitq.waiters q)
+
+(* Tentpole (c) contract: with no tracer installed and no charges, the
+   optimized dispatch loop is allocation-free — 10^6 pre-scheduled
+   callback events run within a fraction of a word of minor allocation
+   per event. *)
+let test_zero_cost_dispatch () =
+  Sim_profile.with_baseline false (fun () ->
+      let e = Engine.create () in
+      Alcotest.(check bool) "tracing off" false (Engine.tracing e);
+      let nop () = () in
+      let n = 1_000_000 in
+      for i = 1 to n do
+        Engine.at e ~delay:i nop
+      done;
+      let before = Gc.minor_words () in
+      let processed = Engine.run e in
+      let words = Gc.minor_words () -. before in
+      let per_event = words /. float_of_int n in
+      Alcotest.(check int) "all events processed" n processed;
+      Alcotest.(check int) "events_processed counter" n
+        (Engine.events_processed e);
+      if per_event > 0.5 then
+        Alcotest.failf "dispatch allocates %.2f words/event (budget 0.5)"
+          per_event)
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -257,6 +392,9 @@ let suites =
         quick "fifo ties" test_heap_fifo_ties;
         quick "random sorted" test_heap_random_sorted;
         QCheck_alcotest.to_alcotest prop_heap_sorts;
+        quick "clear then reuse" test_heap_clear_reusable;
+        QCheck_alcotest.to_alcotest prop_heap_model;
+        QCheck_alcotest.to_alcotest prop_event_queue_modes;
       ] );
     ( "sim.engine",
       [
@@ -265,6 +403,7 @@ let suites =
         quick "charge costs" test_fiber_charge_costs;
         quick "cpu accounting" test_cpu_accounting;
         quick "deterministic replay" test_simulation_deterministic;
+        quick "zero-cost dispatch at 1M events" test_zero_cost_dispatch;
       ] );
     ( "sim.waitq",
       [
@@ -272,6 +411,7 @@ let suites =
         quick "timeout" test_waitq_timeout;
         quick "signal beats timeout" test_waitq_signal_beats_timeout;
         quick "fifo wakeup" test_waitq_fifo;
+        quick "fifo grant order at 1000 waiters" test_waitq_fifo_1000;
       ] );
     ( "sim.crash",
       [

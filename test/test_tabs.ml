@@ -4,7 +4,8 @@ let () =
   Alcotest.run "tabs"
     (Test_sim.suites @ Test_storage.suites @ Test_wal.suites
    @ Test_lock.suites @ Test_integration.suites @ Test_queue.suites @ Test_accounts.suites @ Test_btree.suites @ Test_replica.suites @ Test_io.suites @ Test_net.suites @ Test_accent.suites @ Test_name_rpc.suites @ Test_server_lib.suites @ Test_recovery_unit.suites @ Test_tm.suites @ Test_directory.suites @ Test_distributed_prop.suites @ Test_profile.suites
-   @ Test_obs.suites @ Test_lossy_commit.suites @ Test_paxos.suites
+   @ Test_obs.suites @ Test_lossy_commit.suites @ Test_determinism.suites
+   @ Test_paxos.suites
    @ Test_group_commit.suites
    @ Test_checkpoint.suites @ Test_comm_batch.suites
    @ Test_scaleout.suites @ Test_bench_shapes.suites)
