@@ -25,6 +25,7 @@ type arm = {
   txns : int;
   scanned : int;
   restart_us : int;
+  replay_us : int; (* redo+undo passes only, excluding the analysis scan *)
   log_records : int; (* live log length at the crash instant *)
   checkpoints : int; (* daemon cycles completed (0 on the off arm) *)
 }
@@ -48,6 +49,12 @@ let obj n =
 (* one checkpoint roughly every few transactions of virtual time *)
 let checkpointing = { Checkpointer.default with interval = 100_000 }
 
+let run_fiber engine f =
+  let out = ref None in
+  ignore (Engine.spawn engine (fun () -> out := Some (f ())));
+  ignore (Engine.run engine);
+  Option.get !out
+
 let run_arm ~checkpointed ~txns =
   let engine = Engine.create () in
   let disk = Disk.create engine in
@@ -60,13 +67,7 @@ let run_arm ~checkpointed ~txns =
       ?checkpointing:(if checkpointed then Some checkpointing else None)
       ()
   in
-  let run_fiber f =
-    let out = ref None in
-    ignore (Engine.spawn engine (fun () -> out := Some (f ())));
-    ignore (Engine.run engine);
-    Option.get !out
-  in
-  run_fiber (fun () ->
+  run_fiber engine (fun () ->
       for i = 0 to txns - 1 do
         let tid = Tid.top ~node:0 ~seq:(i + 1) in
         ignore (Recovery_mgr.append_tm_record rm (Record.Txn_begin tid));
@@ -93,13 +94,13 @@ let run_arm ~checkpointed ~txns =
   let vm' = Vm.attach engine disk ~frames () in
   let log' = Log_manager.attach engine stable in
   let rm' = Recovery_mgr.create engine ~node:0 ~log:log' ~vm:vm' () in
-  let scanned, restart_us =
-    run_fiber (fun () ->
+  let scanned, restart_us, replay_us =
+    run_fiber engine (fun () ->
         let t0 = Engine.now engine in
         let outcome = Recovery_mgr.recover rm' in
-        (outcome.records_scanned, Engine.now engine - t0))
+        (outcome.records_scanned, Engine.now engine - t0, outcome.replay_us))
   in
-  { txns; scanned; restart_us; log_records; checkpoints }
+  { txns; scanned; restart_us; replay_us; log_records; checkpoints }
 
 let run_points sizes =
   List.map
@@ -110,9 +111,159 @@ let run_points sizes =
       })
     sizes
 
+(* Replay-time benchmark: dependency-logged parallel redo.
+
+   One operation-logged workload builds a log with dependency records
+   (each transaction writes a hot counter on its own page plus two cold
+   cells spread over the remaining pages, declaring a read of another
+   family's hot counter — the read-write conflicts become the cross-page
+   edges no per-page chain captures). The crash instant is frozen by
+   copying disk and stable log, then replayed once serially and once per
+   fiber count: same log, same graph, only the redo fan-out differs.
+   Virtual replay time (the redo+undo passes, excluding the analysis
+   scan) is the figure of merit. *)
+
+let replay_txns = 400
+
+let replay_hot_cells = 8
+
+let replay_loser_every = 10
+
+let counter_obj cell = Object_id.make ~segment ~offset:(8 * cell) ~length:8
+
+let register_counter rm vm =
+  let apply ~op:_ ~arg =
+    Scanf.sscanf arg "%d %d" (fun cell v ->
+        let o = counter_obj cell in
+        Vm.pin vm o ~access:`Random;
+        Vm.write vm o (Printf.sprintf "%08d" v);
+        Vm.unpin vm o)
+  in
+  Recovery_mgr.register_op_handler rm ~server:"counter"
+    { redo = apply; undo = apply }
+
+(* Build the workload once; returns the frozen crash-instant images. *)
+let run_replay_workload () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine in
+  Disk.ensure_segment disk segment ~pages:seg_pages;
+  let stable = Stable.create () in
+  let vm = Vm.attach engine disk ~frames:seg_pages () in
+  let log = Log_manager.attach engine stable in
+  let rm =
+    Recovery_mgr.create engine ~node:0 ~log ~vm
+      ~parallel_recovery:Parallel_redo.default ()
+  in
+  register_counter rm vm;
+  let shadow = Array.make (seg_pages * cells_per_page) 0 in
+  let log_set tid cell v ~reads =
+    let o = counter_obj cell in
+    Vm.pin vm o ~access:`Random;
+    Vm.write vm o (Printf.sprintf "%08d" v);
+    Vm.unpin vm o;
+    ignore
+      (Recovery_mgr.log_operation rm ~tid ~server:"counter" ~op:"set"
+         ~undo_arg:(Printf.sprintf "%d %d" cell shadow.(cell))
+         ~redo_arg:(Printf.sprintf "%d %d" cell v)
+         ~reads ~objs:[ o ] ());
+    shadow.(cell) <- v
+  in
+  run_fiber engine (fun () ->
+      for i = 0 to replay_txns - 1 do
+        let tid = Tid.top ~node:0 ~seq:(i + 1) in
+        (* hot counter: one cell per page on pages 0..hot-1 *)
+        log_set tid ((i mod replay_hot_cells) * cells_per_page) (i + 1)
+          ~reads:[];
+        (* cold cells on pages hot..seg_pages-1, reading a hot counter
+           last written by another transaction *)
+        let foreign_hot =
+          counter_obj (((i + 1) mod replay_hot_cells) * cells_per_page)
+        in
+        for j = 1 to 2 do
+          let k = (i * 2) + j in
+          let page =
+            replay_hot_cells + (k mod (seg_pages - replay_hot_cells))
+          in
+          let cell =
+            (page * cells_per_page)
+            + (k / (seg_pages - replay_hot_cells) mod cells_per_page)
+          in
+          log_set tid cell k ~reads:[ foreign_hot ]
+        done;
+        (* every replay_loser_every-th transaction crashes undecided *)
+        if (i + 1) mod replay_loser_every <> 0 then begin
+          let lsn = Recovery_mgr.append_tm_record rm (Record.Txn_commit tid) in
+          Recovery_mgr.force_through rm lsn
+        end
+      done;
+      Log_manager.force_all log);
+  let log_records = Log_manager.next_lsn log - Log_manager.first_lsn log in
+  (disk, stable, log_records, Log_manager.deps_emitted log)
+
+type replay_arm = {
+  fibers : int; (* 0 = serial replay, no dependency graph *)
+  arm_replay_us : int;
+  arm_restart_us : int;
+  stats : Parallel_redo.stats option;
+  trace : (string * int) list; (* apply order, for the N=1 lockstep check *)
+}
+
+let run_replay_arm ~src_disk ~src_stable ~fibers =
+  let engine = Engine.create () in
+  let disk = Disk.copy src_disk ~engine in
+  let stable = Stable.copy src_stable in
+  let vm = Vm.attach engine disk ~frames:seg_pages () in
+  let log = Log_manager.attach engine stable in
+  let rm =
+    Recovery_mgr.create engine ~node:0 ~log ~vm
+      ?parallel_recovery:
+        (if fibers = 0 then None else Some { Parallel_redo.fibers })
+      ()
+  in
+  register_counter rm vm;
+  let trace = ref [] in
+  Recovery_mgr.set_apply_hook rm
+    (Some (fun ~phase ~lsn -> trace := (phase, lsn) :: !trace));
+  let outcome, arm_restart_us =
+    run_fiber engine (fun () ->
+        let t0 = Engine.now engine in
+        let o = Recovery_mgr.recover rm in
+        (o, Engine.now engine - t0))
+  in
+  {
+    fibers;
+    arm_replay_us = outcome.replay_us;
+    arm_restart_us;
+    stats = outcome.graph;
+    trace = List.rev !trace;
+  }
+
+type replay_result = {
+  rr_log_records : int;
+  rr_deps : int;
+  serial : replay_arm;
+  parallel_arms : replay_arm list;
+  n1_matches_serial : bool;
+}
+
+let run_replay () =
+  let src_disk, src_stable, rr_log_records, rr_deps = run_replay_workload () in
+  let serial = run_replay_arm ~src_disk ~src_stable ~fibers:0 in
+  let parallel_arms =
+    List.map
+      (fun fibers -> run_replay_arm ~src_disk ~src_stable ~fibers)
+      [ 1; 2; 4; 8 ]
+  in
+  let n1_matches_serial =
+    match parallel_arms with
+    | n1 :: _ -> n1.trace = serial.trace
+    | [] -> false
+  in
+  { rr_log_records; rr_deps; serial; parallel_arms; n1_matches_serial }
+
 let json_file = "BENCH_recovery.json"
 
-let write_json points =
+let write_json points replay =
   let oc = open_out json_file in
   Printf.fprintf oc
     "{\n  \"interval_us\": %d,\n  \"trickle\": %d,\n  \"points\": [\n"
@@ -121,16 +272,50 @@ let write_json points =
     (fun i p ->
       Printf.fprintf oc
         "    {\"txns\": %d, \"off_scanned\": %d, \"on_scanned\": %d, \
-         \"off_restart_us\": %d, \"on_restart_us\": %d, \"off_log_records\": \
-         %d, \"on_log_records\": %d, \"checkpoints\": %d, \"scan_ratio\": \
+         \"off_restart_us\": %d, \"on_restart_us\": %d, \"off_replay_us\": \
+         %d, \"on_replay_us\": %d, \"off_log_records\": %d, \
+         \"on_log_records\": %d, \"checkpoints\": %d, \"scan_ratio\": \
          %.2f}%s\n"
         p.off.txns p.off.scanned p.on_.scanned p.off.restart_us
-        p.on_.restart_us p.off.log_records p.on_.log_records
-        p.on_.checkpoints
+        p.on_.restart_us p.off.replay_us p.on_.replay_us p.off.log_records
+        p.on_.log_records p.on_.checkpoints
         (float_of_int p.off.scanned /. float_of_int (max 1 p.on_.scanned))
         (if i = List.length points - 1 then "" else ","))
     points;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n";
+  let speedup a =
+    float_of_int replay.serial.arm_replay_us
+    /. float_of_int (max 1 a.arm_replay_us)
+  in
+  Printf.fprintf oc
+    "  \"replay\": {\n\
+    \    \"txns\": %d,\n\
+    \    \"log_records\": %d,\n\
+    \    \"deps_emitted\": %d,\n\
+    \    \"serial_replay_us\": %d,\n\
+    \    \"serial_restart_us\": %d,\n\
+    \    \"n1_matches_serial\": %b,\n\
+    \    \"arms\": [\n"
+    replay_txns replay.rr_log_records replay.rr_deps
+    replay.serial.arm_replay_us replay.serial.arm_restart_us
+    replay.n1_matches_serial;
+  List.iteri
+    (fun i a ->
+      let s =
+        match a.stats with
+        | Some s -> s
+        | None -> assert false (* parallel arms always carry a graph *)
+      in
+      Printf.fprintf oc
+        "      {\"fibers\": %d, \"replay_us\": %d, \"restart_us\": %d, \
+         \"speedup\": %.2f, \"op_records\": %d, \"value_records\": %d, \
+         \"chain_edges\": %d, \"dep_edges\": %d, \"critical_path\": %d, \
+         \"width\": %d}%s\n"
+        a.fibers a.arm_replay_us a.arm_restart_us (speedup a) s.op_records
+        s.value_records s.chain_edges s.dep_edges s.critical_path s.width
+        (if i = List.length replay.parallel_arms - 1 then "" else ","))
+    replay.parallel_arms;
+  output_string oc "    ]\n  }\n}\n";
   close_out oc
 
 let print_recovery () =
@@ -148,9 +333,33 @@ let print_recovery () =
         p.off.scanned p.on_.scanned p.off.restart_us p.on_.restart_us
         p.on_.checkpoints)
     points;
-  write_json points;
   Printf.printf
     "  (off: analysis reads the whole live log, so the scan grows with the\n\
     \   workload; on: the background daemon's fuzzy checkpoints anchor the\n\
-    \   scan, so it stays bounded; curve written to %s)\n"
-    json_file
+    \   scan, so it stays bounded)\n";
+  let replay = run_replay () in
+  Printf.printf
+    "\nReplay time: dependency-logged parallel redo (%d op-logged txns, %d \
+     log records,\n\
+     %d dependency records; every %dth transaction a loser)\n"
+    replay_txns replay.rr_log_records replay.rr_deps replay_loser_every;
+  Printf.printf "%s\n" (String.make 72 '-');
+  Printf.printf "    %7s %12s %13s %8s %6s %6s %6s %6s\n" "fibers" "replay us"
+    "restart us" "speedup" "chain" "dep" "crit" "width";
+  Printf.printf "    %7s %12d %13d %8s\n" "serial"
+    replay.serial.arm_replay_us replay.serial.arm_restart_us "1.00";
+  List.iter
+    (fun a ->
+      match a.stats with
+      | Some s ->
+          Printf.printf "    %7d %12d %13d %8.2f %6d %6d %6d %6d\n" a.fibers
+            a.arm_replay_us a.arm_restart_us
+            (float_of_int replay.serial.arm_replay_us
+            /. float_of_int (max 1 a.arm_replay_us))
+            s.chain_edges s.dep_edges s.critical_path s.width
+      | None -> ())
+    replay.parallel_arms;
+  Printf.printf "  (N=1 replay %s the serial schedule record for record)\n"
+    (if replay.n1_matches_serial then "matches" else "DIVERGES FROM");
+  write_json points replay;
+  Printf.printf "  (curves written to %s)\n" json_file

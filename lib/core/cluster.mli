@@ -13,8 +13,9 @@ type t
     lossless network. [?profile] applies the same architecture profile
     and [?group_commit] the same force-batching configuration (see
     {!Node.create}) to every node, as does [?checkpointing] for the
-    background checkpoint daemon and [?comm_batching] for the
-    Communication Managers' comm-batching layer.
+    background checkpoint daemon, [?parallel_recovery] for
+    dependency-logged parallel restart recovery, and [?comm_batching]
+    for the Communication Managers' comm-batching layer.
 
     [?topology] overrides the default one-shard-per-node layout; when it
     names more nodes than [nodes], enough nodes are created to host
@@ -25,6 +26,7 @@ val create :
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
+  ?parallel_recovery:Tabs_recovery.Parallel_redo.config ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->

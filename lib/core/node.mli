@@ -33,6 +33,14 @@ type t
     by default for the same reason as [?group_commit]. The setting
     survives {!crash}/{!restart}.
 
+    [?parallel_recovery] turns on dependency logging (conflict-edge
+    records on the common log) and makes restart recovery drain its
+    redo graph over the configured number of simulator fibers
+    ({!Tabs_recovery.Parallel_redo}). Off by default — without it no
+    dependency record is written and replay is serial, byte-identical
+    to a build without the feature. The setting survives
+    {!crash}/{!restart}.
+
     [?comm_batching] enables the Communication Manager's comm-batching
     layer ({!Tabs_net.Comm_mgr.batching}): piggybacked/delayed session
     acks and datagram coalescing. Off by default for the same reason as
@@ -54,6 +62,7 @@ val create :
   ?profile:Tabs_sim.Profile.t ->
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
+  ?parallel_recovery:Tabs_recovery.Parallel_redo.config ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->

@@ -1,0 +1,286 @@
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+
+type config = { fibers : int }
+
+let default = { fibers = 8 }
+
+type stats = {
+  op_records : int;
+  value_records : int;
+  chain_edges : int;
+  dep_edges : int;
+  critical_path : int;
+  width : int;
+}
+
+(* One scheduling graph. [members] are indices into the analysis record
+   array in log order; edges and priorities are expressed in member
+   positions. Every edge goes from a lower to a higher priority, so the
+   graph is acyclic by construction and a priority-ordered ready queue
+   can never deadlock. *)
+type phase = {
+  members : int array;
+  succs : int list array;
+  indeg : int array;
+  prio : int array;  (* pop order: lower pops first; a permutation *)
+  chain_edges : int;
+  dep_edges : int;
+  depth : int;  (* longest edge chain, in records *)
+  width : int;
+}
+
+type t = { op : phase; value : phase }
+
+(* Binary min-heap of member positions keyed by [prio]. Priorities are
+   a permutation, so there are no ties to break. *)
+module Heap = struct
+  type t = { mutable n : int; data : int array; prio : int array }
+
+  let create cap prio = { n = 0; data = Array.make (max 1 cap) 0; prio }
+
+  let push h pos =
+    h.data.(h.n) <- pos;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while
+      !i > 0 && h.prio.(h.data.((!i - 1) / 2)) > h.prio.(h.data.(!i))
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.n <- h.n - 1;
+      h.data.(0) <- h.data.(h.n);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && h.prio.(h.data.(l)) < h.prio.(h.data.(!smallest)) then
+          smallest := l;
+        if r < h.n && h.prio.(h.data.(r)) < h.prio.(h.data.(!smallest)) then
+          smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+(* Longest-path depth and maximum level width of a phase, walking
+   members in priority (= topological) order. *)
+let measure ~succs ~order =
+  let m = Array.length succs in
+  if m = 0 then (0, 0)
+  else begin
+    let level = Array.make m 1 in
+    Array.iter
+      (fun pos ->
+        List.iter
+          (fun s -> if level.(s) < level.(pos) + 1 then level.(s) <- level.(pos) + 1)
+          succs.(pos))
+      order;
+    let depth = Array.fold_left max 1 level in
+    let per_level = Array.make (depth + 1) 0 in
+    Array.iter (fun l -> per_level.(l) <- per_level.(l) + 1) level;
+    (depth, Array.fold_left max 0 per_level)
+  end
+
+let build records =
+  let n = Array.length records in
+  let op_list = ref [] and value_list = ref [] in
+  for i = n - 1 downto 0 do
+    match snd records.(i) with
+    | Record.Update_operation _ -> op_list := i :: !op_list
+    | Record.Update_value _ -> value_list := i :: !value_list
+    | _ -> ()
+  done;
+  let make_phase members prio_of =
+    let m = Array.length members in
+    {
+      members;
+      succs = Array.make m [];
+      indeg = Array.make m 0;
+      prio = Array.init m prio_of;
+      chain_edges = 0;
+      dep_edges = 0;
+      depth = 0;
+      width = 0;
+    }
+  in
+  let add_edge p a b =
+    (* consecutive multi-page records can share several pages; one
+       ordering edge between a pair is enough *)
+    if a <> b && not (List.mem b p.succs.(a)) then begin
+      p.succs.(a) <- b :: p.succs.(a);
+      p.indeg.(b) <- p.indeg.(b) + 1;
+      true
+    end
+    else false
+  in
+  (* Operation phase: forward order, per-page chains + dependency
+     edges between operation records. *)
+  let op = make_phase (Array.of_list !op_list) (fun pos -> pos) in
+  let op_m = Array.length op.members in
+  let op_pos_of_lsn = Hashtbl.create (max 16 op_m) in
+  Array.iteri
+    (fun pos i -> Hashtbl.replace op_pos_of_lsn (fst records.(i)) pos)
+    op.members;
+  let chain_edges = ref 0 and dep_edges = ref 0 in
+  let last_on_page : (Disk.page_id, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun pos i ->
+      match snd records.(i) with
+      | Record.Update_operation u ->
+          List.iter
+            (fun pid ->
+              (match Hashtbl.find_opt last_on_page pid with
+              | Some prev -> if add_edge op prev pos then incr chain_edges
+              | None -> ());
+              Hashtbl.replace last_on_page pid pos)
+            u.pages
+      | _ -> ())
+    op.members;
+  Array.iter
+    (fun (_, record) ->
+      match record with
+      | Record.Dependency d -> (
+          match Hashtbl.find_opt op_pos_of_lsn d.update_lsn with
+          | None -> ()
+          | Some upos ->
+              List.iter
+                (fun (_, pred_lsn) ->
+                  match Hashtbl.find_opt op_pos_of_lsn pred_lsn with
+                  | Some ppos when ppos < upos ->
+                      if add_edge op ppos upos then incr dep_edges
+                  | Some _ | None ->
+                      (* predecessor below the scan anchor (or a value
+                         record): its effect is already on stable disk,
+                         or the value phase orders it — nothing to
+                         schedule against *)
+                      ())
+                d.preds)
+      | _ -> ())
+    records;
+  let op_depth, op_width =
+    measure ~succs:op.succs ~order:(Array.init op_m (fun pos -> pos))
+  in
+  let op =
+    {
+      op with
+      chain_edges = !chain_edges;
+      dep_edges = !dep_edges;
+      depth = op_depth;
+      width = op_width;
+    }
+  in
+  (* Value phase: newest-first per-page chains. A value-logged object
+     fits one page, so same-object records always share a chain. *)
+  let value =
+    make_phase (Array.of_list !value_list) (fun _ -> 0 (* fixed below *))
+  in
+  let val_m = Array.length value.members in
+  let value =
+    { value with prio = Array.init val_m (fun pos -> val_m - 1 - pos) }
+  in
+  let vchain = ref 0 in
+  Hashtbl.reset last_on_page;
+  for pos = val_m - 1 downto 0 do
+    match snd records.(value.members.(pos)) with
+    | Record.Update_value u ->
+        List.iter
+          (fun pid ->
+            (match Hashtbl.find_opt last_on_page pid with
+            | Some newer -> if add_edge value newer pos then incr vchain
+            | None -> ());
+            Hashtbl.replace last_on_page pid pos)
+          (Object_id.pages u.obj)
+    | _ -> ()
+  done;
+  let val_depth, val_width =
+    measure ~succs:value.succs ~order:(Array.init val_m (fun k -> val_m - 1 - k))
+  in
+  let value =
+    { value with chain_edges = !vchain; depth = val_depth; width = val_width }
+  in
+  { op; value }
+
+let stats t =
+  {
+    op_records = Array.length t.op.members;
+    value_records = Array.length t.value.members;
+    chain_edges = t.op.chain_edges + t.value.chain_edges;
+    dep_edges = t.op.dep_edges;
+    critical_path = t.op.depth + t.value.depth;
+    width = max t.op.width t.value.width;
+  }
+
+(* Drain one phase over [fibers] workers. The heap and in-degree
+   updates happen between fiber suspension points, so no further
+   synchronization is needed: the simulator's fibers are cooperative.
+   All edges point from lower to higher priority, so the lowest-
+   priority unapplied record always has in-degree zero — the heap can
+   only be empty mid-phase while some worker is still applying, and
+   that worker's completion signals the idle queue. *)
+let run_phase engine ~node ~fibers p ~apply =
+  let m = Array.length p.members in
+  if m > 0 then begin
+    let indeg = Array.copy p.indeg in
+    let heap = Heap.create m p.prio in
+    Array.iteri (fun pos d -> if d = 0 then Heap.push heap pos) indeg;
+    let remaining = ref m in
+    let idle : unit Engine.Waitq.t = Engine.Waitq.create () in
+    let finished : unit Engine.Waitq.t = Engine.Waitq.create () in
+    let workers = max 1 fibers in
+    let live = ref workers in
+    let rec worker () =
+      if !remaining > 0 then
+        match Heap.pop heap with
+        | Some pos ->
+            apply p.members.(pos);
+            decr remaining;
+            List.iter
+              (fun s ->
+                indeg.(s) <- indeg.(s) - 1;
+                if indeg.(s) = 0 then begin
+                  Heap.push heap s;
+                  ignore (Engine.Waitq.signal idle ~engine ())
+                end)
+              p.succs.(pos);
+            if !remaining = 0 then
+              ignore (Engine.Waitq.signal_all idle ~engine ());
+            worker ()
+        | None ->
+            Engine.Waitq.wait idle;
+            worker ()
+    in
+    for _ = 1 to workers do
+      ignore
+        (Engine.spawn engine ~node (fun () ->
+             worker ();
+             decr live;
+             if !live = 0 then
+               ignore (Engine.Waitq.signal finished ~engine ())))
+    done;
+    Engine.Waitq.wait finished
+  end
+
+let run_op_phase t engine ~node ~fibers ~apply =
+  run_phase engine ~node ~fibers t.op ~apply
+
+let run_value_phase t engine ~node ~fibers ~apply =
+  run_phase engine ~node ~fibers t.value ~apply

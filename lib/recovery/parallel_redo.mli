@@ -1,0 +1,79 @@
+(** Graph-bounded parallel redo.
+
+    Crash recovery's redo work is mostly independent: updates to
+    different pages never conflict, and updates to the same page are
+    ordered by their position in the log. Dependency records (the third
+    logging technique) add the only cross-page constraints — an
+    operation that read or overwrote another transaction family's
+    object must be redone after that object's previous writer.
+
+    This module turns an analysis scan's record array into two
+    scheduling graphs and drains them over N simulator fibers:
+
+    - the {e operation phase} mirrors the serial forward redo pass:
+      per-page chains (consecutive operation records sharing a page)
+      plus the dependency-record edges between operation records;
+    - the {e value phase} mirrors the serial backward pass: per-page
+      chains among value records, drained newest-first. Value-logged
+      objects fit one page, so two records for the same object are
+      always chained and no cross-page edge is ever needed; dependency
+      records never constrain this phase.
+
+    Each phase's ready queue releases a record only when all its
+    predecessors have been applied, and pops ready records in serial
+    pass order (ascending LSN for operations, descending for values).
+    With a single fiber the schedule is therefore {e exactly} the
+    serial pass, record for record; with more fibers, records on
+    different chains overlap in virtual time and replay finishes in
+    roughly critical-path rather than total-work time. *)
+
+type config = { fibers : int }
+
+val default : config
+
+type stats = {
+  op_records : int;  (** operation records scheduled in the redo phase *)
+  value_records : int;  (** value records scheduled in the backward phase *)
+  chain_edges : int;  (** same-page ordering edges across both phases *)
+  dep_edges : int;
+      (** cross-page edges contributed by dependency records (operation
+          phase only; dangling predecessors below the scan anchor are
+          dropped — their effects are provably on disk) *)
+  critical_path : int;
+      (** longest chain of ordering edges, operation and value phases
+          summed — the lower bound, in records, on parallel replay *)
+  width : int;
+      (** largest antichain level: how many records could be in flight
+          at once given unlimited fibers *)
+}
+
+type t
+
+(** [build records] constructs both phase graphs from an analysis
+    scan's [(lsn, record)] array. Pure bookkeeping: charges nothing. *)
+val build : (Tabs_wal.Record.lsn * Tabs_wal.Record.t) array -> t
+
+val stats : t -> stats
+
+(** [run_op_phase g engine ~node ~fibers ~apply] drains the operation
+    graph over [fibers] worker fibers spawned on [node]; [apply i] is
+    called with the index into the original records array once record
+    [i]'s predecessors have all been applied. Returns when every
+    operation record has been applied. Must run inside a fiber. *)
+val run_op_phase :
+  t ->
+  Tabs_sim.Engine.t ->
+  node:int ->
+  fibers:int ->
+  apply:(int -> unit) ->
+  unit
+
+(** [run_value_phase g engine ~node ~fibers ~apply] likewise drains the
+    value graph, newest record first within each page chain. *)
+val run_value_phase :
+  t ->
+  Tabs_sim.Engine.t ->
+  node:int ->
+  fibers:int ->
+  apply:(int -> unit) ->
+  unit

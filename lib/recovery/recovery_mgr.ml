@@ -28,6 +28,11 @@ type recovery_outcome = {
   in_doubt : (Tid.t * int) list;
   written_objects : (Tid.t * Object_id.t) list;
   records_scanned : int;
+  replay_us : int;
+      (* virtual time spent in the redo and undo passes — excludes the
+         analysis scan, so fiber fan-out is visible in isolation *)
+  graph : Parallel_redo.stats option;
+      (* redo-graph shape when parallel recovery ran; None when serial *)
   paxos : (Record.lsn * Record.t) list;
       (* surviving Paxos Commit acceptor state, already re-appended
          above the closing checkpoint; the TM reseeds its acceptor from
@@ -57,6 +62,10 @@ type t = {
       (* the TM's Paxos acceptor supplies the oldest log record that
          still backs undecided consensus state — those records belong to
          no transaction chain, so reclamation would otherwise eat them *)
+  parallel : Parallel_redo.config option;
+  mutable apply_hook : (phase:string -> lsn:Record.lsn -> unit) option;
+      (* test instrumentation: observes every redo/undo application, in
+         order, from both the serial and the parallel replay paths *)
 }
 
 let log t = t.log
@@ -73,6 +82,11 @@ let set_active_txns_source t f = t.active_txns_source <- f
 let set_prepared_source t f = t.prepared_source <- f
 
 let set_truncation_floor_source t f = t.truncation_floor_source <- f
+
+let set_apply_hook t f = t.apply_hook <- f
+
+let hook t phase lsn =
+  match t.apply_hook with None -> () | Some f -> f ~phase ~lsn
 
 let small_msg t = Engine.charge t.engine Cost_model.Small_contiguous_message
 
@@ -136,13 +150,14 @@ let log_value t ~tid ~obj ~old_value ~new_value =
   maybe_poke_checkpointer t;
   lsn
 
-let log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs =
+let log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ?(reads = []) ~objs
+    () =
   Engine.charge t.engine Cost_model.Large_contiguous_message;
   Engine.charge_cpu t.engine ~process:"rm" Overheads.rm_spool_write;
   let pages = List.concat_map Object_id.pages objs in
   let lsn =
     Log_manager.append_operation t.log ~tid ~server ~operation:op ~undo_arg
-      ~redo_arg ~pages
+      ~redo_arg ~pages ~objs ~reads ()
   in
   List.iter (fun obj -> Vm.note_update t.vm obj ~lsn) objs;
   note_pages_logged t pages lsn;
@@ -325,7 +340,12 @@ let maybe_reclaim t =
         true
 
 let create engine ~node ~log ~vm ?(profile = Profile.Classic)
-    ?group_commit ?checkpointing ?(log_space_limit = 256 * 1024) () =
+    ?group_commit ?checkpointing ?(log_space_limit = 256 * 1024)
+    ?parallel_recovery () =
+  (* Parallel recovery needs the conflict edges on the log: enabling it
+     turns dependency-record emission on for the whole incarnation, so
+     the next crash finds its graph already written. *)
+  if parallel_recovery <> None then Log_manager.set_dep_logging log true;
   let t =
     {
       engine;
@@ -347,6 +367,8 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       last_background_flush = 0;
       background_flush_interval = 250_000;
       truncation_floor_source = (fun () -> None);
+      parallel = parallel_recovery;
+      apply_hook = None;
     }
   in
   Vm.set_wal_hooks vm (wal_hooks t);
@@ -472,6 +494,9 @@ let analyze ?(anchored = true) t =
       | Record.Paxos_accept _ | Record.Paxos_decision _ ->
           (* Paxos acceptor records track consensus on foreign
              transactions, not local transaction status *)
+          ()
+      | Record.Dependency _ ->
+          (* redo-ordering metadata; the parallel scheduler consumes it *)
           ())
     a.records;
   a
@@ -486,30 +511,36 @@ let winner a tid =
   | Aborted | Active -> false
 
 (* Pass 2 for operation logging: repeat history forward, gated by the
-   sector sequence numbers so already-reflected effects are skipped. *)
+   sector sequence numbers so already-reflected effects are skipped.
+   The per-record body is shared with the parallel scheduler, which
+   calls it under the redo graph's ordering instead of log order. *)
+let apply_op_redo t a i =
+  match a.records.(i) with
+  | lsn, Record.Update_operation u ->
+      let needs_redo =
+        u.pages = []
+        || List.exists (fun pid -> Disk.seqno (Vm.disk t.vm) pid < lsn) u.pages
+      in
+      if needs_redo then begin
+        hook t "op_redo" lsn;
+        small_msg t;
+        (op_handler t u.server).redo ~op:u.operation ~arg:u.redo_arg;
+        Vm.note_pages t.vm u.pages ~lsn
+      end
+  | _ -> ()
+
 let op_redo_pass t a =
-  Array.iter
-    (fun (lsn, record) ->
-      match record with
-      | Record.Update_operation u ->
-          let needs_redo =
-            u.pages = []
-            || List.exists (fun pid -> Disk.seqno (Vm.disk t.vm) pid < lsn) u.pages
-          in
-          if needs_redo then begin
-            small_msg t;
-            (op_handler t u.server).redo ~op:u.operation ~arg:u.redo_arg;
-            Vm.note_pages t.vm u.pages ~lsn
-          end
-      | _ -> ())
-    a.records
+  Array.iteri (fun i _ -> apply_op_redo t a i) a.records
 
 (* Pass 3 for operation logging: undo losers backward. History was
-   repeated in pass 2, so every loser effect is present. *)
+   repeated in pass 2, so every loser effect is present. Always serial:
+   an undo walks a single transaction's chain newest-first, and chains
+   of different losers may touch the same objects. *)
 let op_undo_pass t a =
   for i = Array.length a.records - 1 downto 0 do
     match a.records.(i) with
     | lsn, Record.Update_operation u when not (winner a u.tid) ->
+        hook t "op_undo" lsn;
         small_msg t;
         (op_handler t u.server).undo ~op:u.operation ~arg:u.undo_arg;
         Vm.note_pages t.vm u.pages ~lsn
@@ -539,39 +570,61 @@ module Obj_set = Hashtbl.Make (Obj_key)
    page's sequence number is below its LSN never reached the segment,
    so there is nothing to undo and the walk continues toward the last
    committed image. *)
+let apply_value t a finalized i =
+  match a.records.(i) with
+  | lsn, Record.Update_value u ->
+      if not (Obj_set.mem finalized u.obj) then begin
+        let on_disk =
+          (* value-logged objects fit one page (checked at log_value) *)
+          List.for_all
+            (fun pid -> Disk.seqno (Vm.disk t.vm) pid >= lsn)
+            (Object_id.pages u.obj)
+        in
+        if winner a u.tid then begin
+          if not on_disk then begin
+            hook t "value_redo" lsn;
+            restore_value t u.obj u.new_value;
+            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+          end;
+          Obj_set.add finalized u.obj ()
+        end
+        else if on_disk then begin
+          hook t "value_undo" lsn;
+          restore_value t u.obj u.old_value;
+          Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+        end
+      end
+  | _ -> ()
+
 let value_backward_pass t a =
   let finalized = Obj_set.create 64 in
-  let disk = Vm.disk t.vm in
   for i = Array.length a.records - 1 downto 0 do
-    match a.records.(i) with
-    | lsn, Record.Update_value u ->
-        if not (Obj_set.mem finalized u.obj) then begin
-          let on_disk =
-            (* value-logged objects fit one page (checked at log_value) *)
-            List.for_all
-              (fun pid -> Disk.seqno disk pid >= lsn)
-              (Object_id.pages u.obj)
-          in
-          if winner a u.tid then begin
-            if not on_disk then begin
-              restore_value t u.obj u.new_value;
-              Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
-            end;
-            Obj_set.add finalized u.obj ()
-          end
-          else if on_disk then begin
-            restore_value t u.obj u.old_value;
-            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
-          end
-        end
-    | _ -> ()
+    apply_value t a finalized i
   done
 
 let recover ?anchored t =
   let a = analyze ?anchored t in
-  op_redo_pass t a;
-  value_backward_pass t a;
+  let replay_start = Engine.now t.engine in
+  let graph =
+    match t.parallel with
+    | None ->
+        op_redo_pass t a;
+        value_backward_pass t a;
+        None
+    | Some { Parallel_redo.fibers } ->
+        (* Graph-bounded fan-out: both redo passes drain their
+           dependency graphs over [fibers] worker fibers. The undo pass
+           below stays serial — it walks loser chains newest-first. *)
+        let g = Parallel_redo.build a.records in
+        Parallel_redo.run_op_phase g t.engine ~node:t.node ~fibers
+          ~apply:(apply_op_redo t a);
+        let finalized = Obj_set.create 64 in
+        Parallel_redo.run_value_phase g t.engine ~node:t.node ~fibers
+          ~apply:(apply_value t a finalized);
+        Some (Parallel_redo.stats g)
+  in
   op_undo_pass t a;
+  let replay_us = Engine.now t.engine - replay_start in
   (* Roll-back records for the losers that never logged an outcome. *)
   let losers =
     Hashtbl.fold
@@ -614,10 +667,12 @@ let recover ?anchored t =
           | Some (first, _) -> Hashtbl.replace chains tid (first, lsn))
       | _ -> ())
     a.records;
-  Hashtbl.iter
-    (fun tid (first, last) ->
-      Log_manager.restore_chain t.log ~tid ~first ~last)
-    chains;
+  (* sorted: hashtable iteration order depends on tid hashing, and the
+     restore order must not vary between runs of the same crash *)
+  Hashtbl.fold (fun tid (first, last) acc -> (tid, first, last) :: acc) chains []
+  |> List.sort compare
+  |> List.iter (fun (tid, first, last) ->
+         Log_manager.restore_chain t.log ~tid ~first ~last);
   (* Segments must reflect exactly committed + prepared work. *)
   Vm.flush_all t.vm;
   Log_manager.force_all t.log;
@@ -695,12 +750,17 @@ let recover ?anchored t =
               | None -> []
             in
             promise
-            @ Hashtbl.fold
-                (fun (t', part) (ballot, yes) acc ->
-                  if Tid.equal t' tid then
-                    Record.Paxos_accept { tid; part; ballot; yes } :: acc
-                  else acc)
-                accepts [])
+            @ (Hashtbl.fold
+                 (fun (t', part) (ballot, yes) acc ->
+                   if Tid.equal t' tid then (part, ballot, yes) :: acc
+                   else acc)
+                 accepts []
+              (* sorted by participant: the re-appended acceptor records
+                 land on the log in a hash-order-free, reproducible
+                 sequence *)
+              |> List.sort compare
+              |> List.map (fun (part, ballot, yes) ->
+                     Record.Paxos_accept { tid; part; ballot; yes })))
       (List.sort Tid.compare !tids)
   in
   let paxos = List.map (fun r -> (Log_manager.append t.log r, r)) paxos in
@@ -727,6 +787,8 @@ let recover ?anchored t =
     in_doubt;
     written_objects;
     records_scanned = Array.length a.records;
+    replay_us;
+    graph;
     paxos;
   }
 

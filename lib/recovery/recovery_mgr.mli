@@ -60,6 +60,13 @@ type recovery_outcome = {
       (** objects updated by in-doubt transactions, for lock
           re-acquisition *)
   records_scanned : int;
+  replay_us : int;
+      (** virtual microseconds spent in the redo and undo passes —
+          excludes the analysis scan, so the effect of parallel redo
+          fan-out is measurable in isolation *)
+  graph : Parallel_redo.stats option;
+      (** shape of the redo dependency graph when parallel recovery
+          replayed it; [None] after a serial replay *)
   paxos : (Tabs_wal.Record.lsn * Tabs_wal.Record.t) list;
       (** surviving Paxos Commit acceptor records (condensed: decisions
           for decided transactions; highest promise and highest-ballot
@@ -84,7 +91,12 @@ type recovery_outcome = {
     reclaims the log in the background — with it configured,
     {!maybe_reclaim} never flushes on the foreground path. Omitted (the
     default), checkpoints happen only where callers ask for them,
-    exactly as before. *)
+    exactly as before. [?parallel_recovery] turns on dependency-record
+    emission for this incarnation and makes {!recover} drain the redo
+    graph over the configured number of simulator fibers; omitted (the
+    default), no dependency record is written and replay is serial —
+    the log and every virtual timing are byte-identical to a build
+    without the feature. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
@@ -94,6 +106,7 @@ val create :
   ?group_commit:Group_commit.config ->
   ?checkpointing:Checkpointer.config ->
   ?log_space_limit:int ->
+  ?parallel_recovery:Parallel_redo.config ->
   unit ->
   t
 
@@ -141,9 +154,13 @@ val log_value :
   new_value:string ->
   Tabs_wal.Record.lsn
 
-(** [log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ~objs] spools
-    an operation-logging record covering the pages of all of [objs] —
-    one record may describe an operation on a multi-page object. *)
+(** [log_operation t ~tid ~server ~op ~undo_arg ~redo_arg ?reads ~objs
+    ()] spools an operation-logging record covering the pages of all of
+    [objs] — one record may describe an operation on a multi-page
+    object. [?reads] names objects the operation read but did not
+    write; with dependency logging on, a read-write conflict against
+    another family's last write yields a cross-page redo-ordering edge
+    that no per-page chain would capture. *)
 val log_operation :
   t ->
   tid:Tabs_wal.Tid.t ->
@@ -151,7 +168,9 @@ val log_operation :
   op:string ->
   undo_arg:string ->
   redo_arg:string ->
+  ?reads:Tabs_wal.Object_id.t list ->
   objs:Tabs_wal.Object_id.t list ->
+  unit ->
   Tabs_wal.Record.lsn
 
 (** [append_tm_record t record] writes a transaction-management record on
@@ -209,8 +228,22 @@ val maybe_reclaim : t -> bool
     dirty pages' recovery LSNs, and its live families' first-update
     LSNs, seeding transaction statuses from the checkpoint's tables.
     [~anchored:false] forces the pre-checkpoint behavior — a full scan
-    of the live log — for comparison and cross-checking. *)
+    of the live log — for comparison and cross-checking.
+
+    With [?parallel_recovery] configured at {!create}, the redo passes
+    (operation forward, value backward) are drained over N simulator
+    fibers under the dependency graph of {!Parallel_redo}; the undo
+    pass stays serial. With one fiber the schedule is exactly the
+    serial order, record for record. *)
 val recover : ?anchored:bool -> t -> recovery_outcome
+
+(** [set_apply_hook t (Some f)] installs test instrumentation: [f] is
+    called, in application order, for every redo or undo actually
+    applied by {!recover} — [~phase] is ["op_redo"], ["value_redo"],
+    ["value_undo"], or ["op_undo"] — from both the serial and the
+    parallel replay paths. [None] (the default) costs nothing. *)
+val set_apply_hook :
+  t -> (phase:string -> lsn:Tabs_wal.Record.lsn -> unit) option -> unit
 
 (** [statuses t] — transaction statuses computed by the last {!recover},
     for the Transaction Manager's restart queries. *)

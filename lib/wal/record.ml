@@ -26,6 +26,17 @@ type checkpoint = {
   prepared : (Tid.t * int) list;
 }
 
+type dependency = {
+  tid : Tid.t;
+  update_lsn : lsn;
+      (* the update record this dependency orders; always the
+         immediately preceding LSN, so truncation and scan anchors can
+         never keep the update while dropping its dependency record *)
+  preds : (Object_id.t * lsn) list;
+      (* per conflicting object, the last writer's update LSN — parallel
+         redo must not apply [update_lsn] before all of these *)
+}
+
 type t =
   | Update_value of update_value
   | Update_operation of update_operation
@@ -38,22 +49,27 @@ type t =
   | Paxos_promise of { tid : Tid.t; ballot : int }
   | Paxos_accept of { tid : Tid.t; part : int; ballot : int; yes : bool }
   | Paxos_decision of { tid : Tid.t; committed : bool }
+  | Dependency of dependency
 
 (* Paxos acceptor records describe consensus state this node holds on
    behalf of a *foreign* transaction, not local update history, so they
-   join no transaction chain and carry no tid for chain maintenance. *)
+   join no transaction chain and carry no tid for chain maintenance.
+   Dependency records annotate an update they follow; they are not part
+   of the transaction's backward undo chain either. *)
 let tid_of = function
   | Update_value u -> Some u.tid
   | Update_operation u -> Some u.tid
   | Txn_begin tid | Txn_commit tid | Txn_abort tid | Txn_end tid -> Some tid
   | Txn_prepare (tid, _) -> Some tid
+  | Dependency d -> Some d.tid
   | Checkpoint _ | Paxos_promise _ | Paxos_accept _ | Paxos_decision _ -> None
 
 let prev_of = function
   | Update_value u -> u.prev
   | Update_operation u -> u.prev
   | Txn_begin _ | Txn_commit _ | Txn_abort _ | Txn_prepare _ | Txn_end _
-  | Checkpoint _ | Paxos_promise _ | Paxos_accept _ | Paxos_decision _ ->
+  | Checkpoint _ | Paxos_promise _ | Paxos_accept _ | Paxos_decision _
+  | Dependency _ ->
       None
 
 (* Encoding --------------------------------------------------------- *)
@@ -154,7 +170,16 @@ let encode t =
   | Paxos_decision d ->
       Codec.Writer.int w 10;
       write_tid w d.tid;
-      Codec.Writer.int w (if d.committed then 1 else 0));
+      Codec.Writer.int w (if d.committed then 1 else 0)
+  | Dependency d ->
+      Codec.Writer.int w 11;
+      write_tid w d.tid;
+      Codec.Writer.int w d.update_lsn;
+      Codec.Writer.list w
+        (fun w (obj, lsn) ->
+          write_obj w obj;
+          Codec.Writer.int w lsn)
+        d.preds);
   Codec.Writer.contents w
 
 let decode s =
@@ -219,6 +244,16 @@ let decode s =
         let tid = read_tid r in
         let committed = Codec.Reader.int r <> 0 in
         Paxos_decision { tid; committed }
+    | 11 ->
+        let tid = read_tid r in
+        let update_lsn = Codec.Reader.int r in
+        let preds =
+          Codec.Reader.list r (fun r ->
+              let obj = read_obj r in
+              let lsn = Codec.Reader.int r in
+              (obj, lsn))
+        in
+        Dependency { tid; update_lsn; preds }
     | n -> raise (Codec.Reader.Malformed (Printf.sprintf "unknown tag %d" n))
   in
   if not (Codec.Reader.at_end r) then
@@ -254,3 +289,6 @@ let pp fmt = function
   | Paxos_decision d ->
       Format.fprintf fmt "paxos-decision %a %s" Tid.pp d.tid
         (if d.committed then "commit" else "abort")
+  | Dependency d ->
+      Format.fprintf fmt "dependency %a for %d (%d preds)" Tid.pp d.tid
+        d.update_lsn (List.length d.preds)

@@ -109,6 +109,98 @@ let test_lossy_identical () =
 
 let test_lossless_identical () = check_same ~loss:0.0 ~seed:3
 
+(* A crash and dependency-logged parallel restart must also be
+   mode-independent: same trace, same metrics, same redo-graph shape,
+   same replay time under the fast core and the seed baseline. *)
+let recovery_fingerprint ~seed () =
+  let cells = 64 in
+  let c =
+    Cluster.create ~nodes:1 ~seed
+      ~parallel_recovery:{ Tabs_recovery.Parallel_redo.fibers = 4 }
+      ()
+  in
+  let node = Cluster.node c 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells ()
+  in
+  let engine = Cluster.engine c in
+  let recorder = Recorder.attach engine in
+  let tm = Node.tm node in
+  for w = 0 to 1 do
+    Cluster.spawn c ~node:0 (fun () ->
+        let s = ref (seed + (w * 7919) + 1) in
+        let rand n =
+          s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+          !s mod n
+        in
+        while true do
+          (try
+             Txn_lib.execute_transaction tm (fun tid ->
+                 for _ = 0 to rand 3 do
+                   Int_array_server.set arr tid (rand cells) (rand 1000)
+                 done)
+           with
+          | Errors.Transaction_is_aborted _ | Errors.Deadlock _
+          | Errors.Lock_timeout _ ->
+              ());
+          Engine.delay (1 + rand 2_000)
+        done)
+  done;
+  Cluster.run_until c ~time:(400_000 + (seed * 37_000));
+  Node.crash node;
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node
+          ~reinstall:(fun env ->
+            ignore
+              (Int_array_server.create env ~name:"a" ~segment:1 ~cells ()))
+          ())
+  in
+  let trace = List.map Jsonl.entry_to_json (Recorder.entries recorder) in
+  Recorder.detach recorder;
+  let summary =
+    let open Tabs_recovery in
+    Printf.sprintf "scanned=%d losers=%d replay=%d graph=%s"
+      outcome.Recovery_mgr.records_scanned
+      (List.length outcome.Recovery_mgr.losers)
+      outcome.Recovery_mgr.replay_us
+      (match outcome.Recovery_mgr.graph with
+      | None -> "-"
+      | Some g ->
+          Printf.sprintf "%d/%d/%d/%d/%d/%d" g.Parallel_redo.op_records
+            g.Parallel_redo.value_records g.Parallel_redo.chain_edges
+            g.Parallel_redo.dep_edges g.Parallel_redo.critical_path
+            g.Parallel_redo.width)
+  in
+  (trace, summary, Engine.now engine, Engine.events_processed engine)
+
+let test_recovery_identical () =
+  List.iter
+    (fun seed ->
+      let fast = Sim_profile.with_baseline false (recovery_fingerprint ~seed) in
+      let base = Sim_profile.with_baseline true (recovery_fingerprint ~seed) in
+      let trace_f, summary_f, now_f, events_f = fast in
+      let trace_b, summary_b, now_b, events_b = base in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: recovery summary" seed)
+        summary_b summary_f;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: trace length" seed)
+        (List.length trace_b) (List.length trace_f);
+      List.iteri
+        (fun i (a, b) ->
+          if a <> b then
+            Alcotest.failf
+              "seed %d: trace line %d differs:\n  fast: %s\n  base: %s" seed i
+              a b)
+        (List.combine trace_f trace_b);
+      Alcotest.(check int) (Printf.sprintf "seed %d: final now" seed) now_b
+        now_f;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: events processed" seed)
+        events_b events_f)
+    [ 2; 7 ]
+
 let quick name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -118,5 +210,7 @@ let suites =
         quick "fast = baseline on lossy distributed commit"
           test_lossy_identical;
         quick "fast = baseline on clean run" test_lossless_identical;
+        quick "fast = baseline on crash and parallel restart"
+          test_recovery_identical;
       ] );
   ]

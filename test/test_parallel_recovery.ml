@@ -1,0 +1,492 @@
+(* Dependency logging and graph-bounded parallel redo.
+
+   The load-bearing properties:
+
+   - with the feature off, no dependency record is ever written and
+     nothing changes (the seed probes elsewhere pin byte-identity);
+   - a dependency record is emitted only on a cross-family conflict,
+     immediately after the update it orders, and truncation can never
+     separate the pair;
+   - parallel replay with one fiber is the serial schedule record for
+     record; with more fibers it is faster but ends in the same state;
+   - crash at an arbitrary instant: a parallel anchored restart and a
+     serial full-scan recovery over a frozen copy of the same stable
+     log and disk agree on losers, the in-doubt set, and every data
+     byte — including with group commit, checkpointing, and comm
+     batching all running at once. *)
+
+open Tabs_sim
+open Tabs_storage
+open Tabs_wal
+open Tabs_accent
+open Tabs_recovery
+open Tabs_core
+open Tabs_servers
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* --- rig (no Transaction Manager), as in test_checkpoint ------------- *)
+
+type rig = {
+  engine : Engine.t;
+  disk : Disk.t;
+  stable : Stable.t;
+  vm : Vm.t;
+  log : Log_manager.t;
+  rm : Recovery_mgr.t;
+}
+
+let pages = 16
+
+let cells_per_page = Page.size / 8
+
+let obj n = Object_id.make ~segment:1 ~offset:(8 * n) ~length:8
+
+(* one operation-logged counter per cell; redo and undo both write the
+   absolute value carried in the record's argument *)
+let register_counter rm vm =
+  let apply ~op:_ ~arg =
+    Scanf.sscanf arg "%d %d" (fun cell v ->
+        Vm.pin vm (obj cell) ~access:`Random;
+        Vm.write vm (obj cell) (Printf.sprintf "%08d" v);
+        Vm.unpin vm (obj cell))
+  in
+  Recovery_mgr.register_op_handler rm ~server:"counter"
+    { redo = apply; undo = apply }
+
+let make_rig ?parallel_recovery () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine in
+  Disk.ensure_segment disk 1 ~pages;
+  let stable = Stable.create () in
+  let vm = Vm.attach engine disk ~frames:(2 * pages) () in
+  let log = Log_manager.attach engine stable in
+  let rm =
+    Recovery_mgr.create engine ~node:0 ~log ~vm ?parallel_recovery ()
+  in
+  register_counter rm vm;
+  { engine; disk; stable; vm; log; rm }
+
+let run_fiber rig f =
+  let out = ref None in
+  let _ = Engine.spawn rig.engine (fun () -> out := Some (f ())) in
+  let _ = Engine.run rig.engine in
+  Option.get !out
+
+let write_value rig tid n value =
+  Vm.pin rig.vm (obj n) ~access:`Random;
+  let old_value = Vm.read rig.vm (obj n) ~access:`Random in
+  Vm.write rig.vm (obj n) value;
+  ignore
+    (Recovery_mgr.log_value rig.rm ~tid ~obj:(obj n) ~old_value
+       ~new_value:value);
+  Vm.unpin rig.vm (obj n)
+
+let write_op rig tid n v ~reads =
+  Vm.pin rig.vm (obj n) ~access:`Random;
+  Vm.write rig.vm (obj n) (Printf.sprintf "%08d" v);
+  Vm.unpin rig.vm (obj n);
+  ignore
+    (Recovery_mgr.log_operation rig.rm ~tid ~server:"counter" ~op:"set"
+       ~undo_arg:(Printf.sprintf "%d %d" n 0)
+       ~redo_arg:(Printf.sprintf "%d %d" n v)
+       ~reads:(List.map obj reads) ~objs:[ obj n ] ())
+
+let commit rig tid =
+  let lsn = Recovery_mgr.append_tm_record rig.rm (Record.Txn_commit tid) in
+  Recovery_mgr.force_through rig.rm lsn
+
+let v8 s = Printf.sprintf "%-8s" s
+
+let dependency_records rig =
+  run_fiber rig (fun () -> Log_manager.force_all rig.log);
+  let deps = ref [] in
+  Log_manager.iter_forward rig.log ~from:(Log_manager.first_lsn rig.log)
+    ~f:(fun lsn record ->
+      match record with
+      | Record.Dependency d -> deps := (lsn, d) :: !deps
+      | _ -> ());
+  List.rev !deps
+
+(* --- dependency emission -------------------------------------------- *)
+
+let test_off_emits_nothing () =
+  let rig = make_rig () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 and t2 = Tid.top ~node:0 ~seq:2 in
+      write_value rig t1 0 (v8 "a");
+      commit rig t1;
+      write_value rig t2 0 (v8 "b");
+      commit rig t2);
+  Alcotest.(check bool) "dep logging off" false
+    (Log_manager.dep_logging rig.log);
+  Alcotest.(check int) "no dependency records" 0
+    (List.length (dependency_records rig));
+  Alcotest.(check int) "counter agrees" 0 (Log_manager.deps_emitted rig.log)
+
+let test_conflict_emits_adjacent_record () =
+  let rig = make_rig ~parallel_recovery:Parallel_redo.default () in
+  Alcotest.(check bool) "dep logging on" true
+    (Log_manager.dep_logging rig.log);
+  let lsn1 = ref 0 in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 and t2 = Tid.top ~node:0 ~seq:2 in
+      Vm.pin rig.vm (obj 0) ~access:`Random;
+      Vm.write rig.vm (obj 0) (v8 "a");
+      Vm.unpin rig.vm (obj 0);
+      lsn1 :=
+        Recovery_mgr.log_value rig.rm ~tid:t1 ~obj:(obj 0)
+          ~old_value:(v8 "") ~new_value:(v8 "a");
+      commit rig t1;
+      (* the same family rewriting the object: no conflict, no record *)
+      write_value rig t1 0 (v8 "a2");
+      (* another family: conflict *)
+      write_value rig t2 0 (v8 "b");
+      commit rig t2);
+  match dependency_records rig with
+  | [ (dep_lsn, d) ] ->
+      Alcotest.(check int) "adjacent to its update" (d.Record.update_lsn + 1)
+        dep_lsn;
+      Alcotest.(check int) "one predecessor" 1 (List.length d.Record.preds);
+      (* the predecessor is t1's *latest* write of the object, not the
+         first: the last-writer table tracks the newest image *)
+      Alcotest.(check int) "predecessor is the last writer" (!lsn1 + 2)
+        (snd (List.hd d.Record.preds))
+  | deps ->
+      Alcotest.failf "expected exactly one dependency, got %d"
+        (List.length deps)
+
+let test_read_conflict_crosses_pages () =
+  let rig = make_rig ~parallel_recovery:Parallel_redo.default () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 and t2 = Tid.top ~node:0 ~seq:2 in
+      (* t1 writes a cell on page 0; t2 writes a cell on page 1 having
+         read t1's cell — a cross-page read-write conflict *)
+      write_op rig t1 0 7 ~reads:[];
+      commit rig t1;
+      write_op rig t2 cells_per_page 8 ~reads:[ 0 ];
+      commit rig t2);
+  match dependency_records rig with
+  | [ (_, d) ] ->
+      let pred_obj, _ = List.hd d.Record.preds in
+      Alcotest.(check bool) "predecessor is the read object" true
+        (Object_id.equal pred_obj (obj 0));
+      Alcotest.(check bool) "and lives on another page" true
+        (Object_id.pages pred_obj <> Object_id.pages (obj cells_per_page))
+  | deps ->
+      Alcotest.failf "expected exactly one dependency, got %d"
+        (List.length deps)
+
+let test_truncation_never_splits_the_pair () =
+  let rig = make_rig ~parallel_recovery:Parallel_redo.default () in
+  run_fiber rig (fun () ->
+      let t1 = Tid.top ~node:0 ~seq:1 and t2 = Tid.top ~node:0 ~seq:2 in
+      write_value rig t1 0 (v8 "a");
+      commit rig t1;
+      write_value rig t2 0 (v8 "b");
+      commit rig t2;
+      Log_manager.force_all rig.log;
+      Vm.flush_all rig.vm);
+  let dep_lsn, d =
+    match dependency_records rig with
+    | [ pair ] -> pair
+    | deps ->
+        Alcotest.failf "expected exactly one dependency, got %d"
+          (List.length deps)
+  in
+  (* a prospective truncation point between the update and its
+     dependency record is lowered onto the update *)
+  Alcotest.(check int) "aligned onto the update" d.Record.update_lsn
+    (Log_manager.dep_aligned_keep_from rig.log ~keep_from:dep_lsn);
+  Log_manager.truncate rig.log ~keep_from:dep_lsn;
+  Alcotest.(check int) "truncate applies the alignment" d.Record.update_lsn
+    (Log_manager.first_lsn rig.log)
+
+(* --- lockstep and speedup ------------------------------------------- *)
+
+(* A mixed workload: operation-logged counters with cross-page read
+   conflicts, value-logged cells, and losers. Pages are never flushed,
+   so everything needs redo at recovery. *)
+let build_mixed_log () =
+  let rig = make_rig ~parallel_recovery:Parallel_redo.default () in
+  run_fiber rig (fun () ->
+      for i = 0 to 39 do
+        let tid = Tid.top ~node:0 ~seq:(i + 1) in
+        if i mod 2 = 0 then begin
+          (* ops: a hot counter on page (i mod 4), then a cold cell
+             beyond, reading an earlier family's hot counter — a
+             cross-page dependency edge *)
+          write_op rig tid ((i mod 4) * cells_per_page) (i + 1) ~reads:[];
+          write_op rig tid
+            ((4 + (i mod (pages - 4))) * cells_per_page)
+            (i + 100)
+            ~reads:[ ((i + 2) mod 4) * cells_per_page ]
+        end
+        else begin
+          write_value rig tid (4 + (i mod 8)) (v8 (string_of_int i));
+          write_value rig tid (12 + (i mod 4)) (v8 (string_of_int (i * 3)))
+        end;
+        if i mod 7 <> 6 then commit rig tid
+      done;
+      Log_manager.force_all rig.log);
+  rig
+
+let recover_frozen rig ~parallel ~hook =
+  let engine = Engine.create () in
+  let disk = Disk.copy rig.disk ~engine in
+  let stable = Stable.copy rig.stable in
+  let vm = Vm.attach engine disk ~frames:(2 * pages) () in
+  let log = Log_manager.attach engine stable in
+  let rm =
+    Recovery_mgr.create engine ~node:0 ~log ~vm ?parallel_recovery:parallel ()
+  in
+  register_counter rm vm;
+  Recovery_mgr.set_apply_hook rm hook;
+  let out = ref None in
+  ignore
+    (Engine.spawn engine (fun () ->
+         out := Some (Recovery_mgr.recover ~anchored:false rm)));
+  ignore (Engine.run engine);
+  (Option.get !out, disk)
+
+let check_pages_equal ~what disk_a disk_b ~segments =
+  List.iter
+    (fun segment ->
+      let seg_pages = Disk.segment_pages disk_a segment in
+      for p = 0 to seg_pages - 1 do
+        let pid = { Disk.segment; page = p } in
+        if
+          not
+            (Page.equal
+               (Disk.read_nocharge disk_a pid)
+               (Disk.read_nocharge disk_b pid))
+        then Alcotest.failf "segment %d page %d differs: %s" segment p what
+      done)
+    segments
+
+let test_one_fiber_is_serial_record_for_record () =
+  let rig = build_mixed_log () in
+  let trace parallel =
+    let acc = ref [] in
+    let outcome, disk =
+      recover_frozen rig ~parallel
+        ~hook:(Some (fun ~phase ~lsn -> acc := (phase, lsn) :: !acc))
+    in
+    (List.rev !acc, outcome, disk)
+  in
+  let serial_trace, serial_outcome, serial_disk = trace None in
+  let n1_trace, n1_outcome, n1_disk =
+    trace (Some { Parallel_redo.fibers = 1 })
+  in
+  Alcotest.(check bool) "some work was replayed" true
+    (List.length serial_trace > 40);
+  Alcotest.(check (list (pair string int)))
+    "identical application sequence" serial_trace n1_trace;
+  Alcotest.(check int) "identical replay time" serial_outcome.replay_us
+    n1_outcome.replay_us;
+  Alcotest.(check (list string))
+    "identical losers"
+    (List.map Tid.to_string serial_outcome.losers)
+    (List.map Tid.to_string n1_outcome.losers);
+  check_pages_equal ~what:"serial vs one fiber" serial_disk n1_disk
+    ~segments:[ 1 ]
+
+let test_more_fibers_same_state_less_time () =
+  let rig = build_mixed_log () in
+  let serial_outcome, serial_disk =
+    recover_frozen rig ~parallel:None ~hook:None
+  in
+  let par_outcome, par_disk =
+    recover_frozen rig ~parallel:(Some { Parallel_redo.fibers = 8 })
+      ~hook:None
+  in
+  Alcotest.(check bool) "replay is faster with 8 fibers" true
+    (par_outcome.replay_us < serial_outcome.replay_us);
+  (match par_outcome.graph with
+  | None -> Alcotest.fail "parallel recovery must report its graph"
+  | Some s ->
+      Alcotest.(check bool) "graph has cross-page dependency edges" true
+        (s.Parallel_redo.dep_edges > 0);
+      Alcotest.(check bool) "critical path below total work" true
+        (s.Parallel_redo.critical_path
+        < s.Parallel_redo.op_records + s.Parallel_redo.value_records));
+  Alcotest.(check (list string))
+    "identical losers"
+    (List.map Tid.to_string serial_outcome.losers)
+    (List.map Tid.to_string par_outcome.losers);
+  check_pages_equal ~what:"serial vs eight fibers" serial_disk par_disk
+    ~segments:[ 1 ]
+
+(* --- crash at a random instant over full nodes ----------------------- *)
+
+let next_rand s = ((s * 1103515245) + 12345) land 0x3FFFFFFF
+
+(* The account server's "adjust" records carry absolute balances;
+   replaying one on a bare Recovery Manager needs only this handler
+   (mirrors the redo/undo Account_server registers). *)
+let register_accounts rm vm ~name ~segment =
+  let slot_obj i = Object_id.make ~segment ~offset:(8 * i) ~length:8 in
+  let encode_slot v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    Bytes.to_string b
+  in
+  let apply ~op ~arg =
+    if op <> "adjust" then failwith ("unexpected account op " ^ op);
+    let r = Codec.Reader.of_string arg in
+    let entries =
+      Codec.Reader.list r (fun r ->
+          let i = Codec.Reader.int r in
+          let v = Codec.Reader.int r in
+          (i, v))
+    in
+    List.iter
+      (fun (i, v) ->
+        Vm.pin vm (slot_obj i) ~access:`Random;
+        Vm.write vm (slot_obj i) (encode_slot v);
+        Vm.unpin vm (slot_obj i))
+      entries
+  in
+  Recovery_mgr.register_op_handler rm ~server:name
+    { redo = apply; undo = apply }
+
+(* Random concurrent workload on one node with parallel recovery (and,
+   when [full_stack], group commit, the checkpoint daemon, and comm
+   batching all at once) — crash at a random instant; the live node's
+   parallel anchored restart must agree with a serial full-scan
+   recovery over a frozen copy on losers, in-doubt set, and every data
+   byte. Value-logged and operation-logged servers both participate. *)
+let parallel_crash_equivalence ~profile ~full_stack ?(window = 2_000_000) ~seed
+    () =
+  let cells = 128 and accounts = 64 in
+  let c =
+    Cluster.create ~nodes:1 ~profile
+      ~parallel_recovery:{ Parallel_redo.fibers = 4 }
+      ?group_commit:(if full_stack then Some Group_commit.default else None)
+      ?checkpointing:
+        (if full_stack then
+           Some { Checkpointer.interval = 20_000; trickle = 4 }
+         else None)
+      ?comm_batching:
+        (if full_stack then Some Tabs_net.Comm_mgr.default_batching
+         else None)
+      ()
+  in
+  let node = Cluster.node c 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells ()
+  in
+  let acc =
+    Account_server.create (Node.env node) ~name:"b" ~segment:2 ~accounts ()
+  in
+  let tm = Node.tm node in
+  for w = 0 to 2 do
+    Cluster.spawn c ~node:0 (fun () ->
+        let s = ref (seed + (w * 7919) + 1) in
+        let rand n =
+          s := next_rand !s;
+          !s mod n
+        in
+        while true do
+          (try
+             Txn_lib.execute_transaction tm (fun tid ->
+                 for _ = 0 to rand 3 do
+                   if rand 2 = 0 then
+                     Int_array_server.set arr tid (rand cells) (rand 1000)
+                   else
+                     Account_server.deposit acc tid (rand accounts)
+                       (1 + rand 9)
+                 done)
+           with
+          | Errors.Transaction_is_aborted _ | Errors.Deadlock _
+          | Errors.Lock_timeout _ ->
+              ());
+          Engine.delay (1 + rand 2_000)
+        done)
+  done;
+  let crash_at = 60_000 + (next_rand seed mod window) in
+  Cluster.run_until c ~time:crash_at;
+  Node.crash node;
+  (* freeze the stable log and disk as they were at the crash *)
+  let ref_engine = Engine.create () in
+  let stable_copy = Stable.copy (Log_manager.stable (Node.log node)) in
+  let disk_copy = Disk.copy (Node.disk node) ~engine:ref_engine in
+  (* reference: serial full-scan recovery over the frozen copy *)
+  let ref_outcome =
+    let vm = Vm.attach ref_engine disk_copy ~frames:64 () in
+    let log = Log_manager.attach ref_engine stable_copy in
+    let rm = Recovery_mgr.create ref_engine ~node:0 ~log ~vm () in
+    register_accounts rm vm ~name:"b" ~segment:2;
+    let out = ref None in
+    ignore
+      (Engine.spawn ref_engine (fun () ->
+           out := Some (Recovery_mgr.recover ~anchored:false rm)));
+    ignore (Engine.run ref_engine);
+    Option.get !out
+  in
+  (* live node: parallel anchored restart *)
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        Node.restart node
+          ~reinstall:(fun env ->
+            ignore
+              (Int_array_server.create env ~name:"a" ~segment:1 ~cells ());
+            ignore
+              (Account_server.create env ~name:"b" ~segment:2 ~accounts ()))
+          ())
+  in
+  (* the live restart must actually have replayed through the graph,
+     and the reference serially *)
+  Alcotest.(check bool) "live restart was parallel" true
+    (outcome.graph <> None);
+  Alcotest.(check bool) "reference was serial" true (ref_outcome.graph = None);
+  let tids = List.map Tid.to_string in
+  Alcotest.(check (list string))
+    "parallel and serial recovery agree on losers" (tids ref_outcome.losers)
+    (tids outcome.losers);
+  Alcotest.(check (list string))
+    "and on the in-doubt set"
+    (List.map (fun (t, _) -> Tid.to_string t) ref_outcome.in_doubt)
+    (List.map (fun (t, _) -> Tid.to_string t) outcome.in_doubt);
+  check_pages_equal ~what:"parallel restart vs serial reference"
+    (Node.disk node) disk_copy ~segments:[ 1; 2 ];
+  true
+
+let prop_parallel_equivalence profile name =
+  QCheck.Test.make ~name ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      parallel_crash_equivalence ~profile ~full_stack:false ~seed ())
+
+(* the 300-seed stress: the whole stack on at once *)
+let test_full_stack_stress () =
+  for seed = 1 to 300 do
+    ignore
+      (parallel_crash_equivalence ~profile:Profile.Classic ~full_stack:true
+         ~window:1_500_000 ~seed:(seed * 3571) ())
+  done
+
+let suites =
+  [
+    ( "parallel_recovery",
+      [
+        quick "off: no dependency records" test_off_emits_nothing;
+        quick "conflict emits adjacent dependency"
+          test_conflict_emits_adjacent_record;
+        quick "read conflict crosses pages" test_read_conflict_crosses_pages;
+        quick "truncation never splits the pair"
+          test_truncation_never_splits_the_pair;
+        quick "one fiber = serial, record for record"
+          test_one_fiber_is_serial_record_for_record;
+        quick "more fibers: same state, less time"
+          test_more_fibers_same_state_less_time;
+        QCheck_alcotest.to_alcotest
+          (prop_parallel_equivalence Profile.Classic
+             "crash at a random instant: parallel = serial (Classic)");
+        QCheck_alcotest.to_alcotest
+          (prop_parallel_equivalence Profile.Integrated
+             "crash at a random instant: parallel = serial (Integrated)");
+        Alcotest.test_case "300-seed stress: full stack on" `Slow
+          test_full_stack_stress;
+      ] );
+  ]

@@ -7,5 +7,6 @@ let () =
    @ Test_obs.suites @ Test_lossy_commit.suites @ Test_determinism.suites
    @ Test_paxos.suites
    @ Test_group_commit.suites
-   @ Test_checkpoint.suites @ Test_comm_batch.suites
+   @ Test_checkpoint.suites @ Test_parallel_recovery.suites
+   @ Test_comm_batch.suites
    @ Test_scaleout.suites @ Test_bench_shapes.suites)
