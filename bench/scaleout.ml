@@ -33,6 +33,178 @@ let run_pair shards =
         { base with shards };
   }
 
+(* Chaos arm: kill one shard's node mid-load under the Zipfian arrival
+   process, restart it 500 virtual ms later, and measure what the
+   outage costs end to end — committed throughput, tail latency, and
+   how long until the wounded shard commits again — with instant
+   restart off vs on. Both arms run group commit, checkpointing, and
+   parallel recovery; only [?instant_restart] differs, so the gap is
+   the serve-while-recovering effect alone. *)
+
+type chaos_stats = {
+  ch_instant : bool;
+  ch_offered : int;
+  ch_committed : int;
+  ch_aborted : int;
+  ch_refused : int; (* arrivals aimed at the dead node, turned away *)
+  ch_txn_per_sec : float;
+  ch_p99_us : int; (* over every commit of the whole run *)
+  ch_outage_committed : int; (* commits in [kill, kill + 1s) *)
+  ch_open_us : int; (* recovery's time until the node accepts work *)
+  ch_ttfc_us : int; (* restart start -> first commit on the wounded
+                       shard (0 if none committed) *)
+}
+
+let chaos_shards = 4
+
+let chaos_keys = 16_384
+
+let chaos_horizon = 6_000_000
+
+let chaos_kill_at = 2_000_000
+
+let chaos_restart_at = 2_500_000
+
+let chaos_offered_load = 240.
+
+let chaos_cross_frac = 0.15
+
+let run_chaos ~instant =
+  let open Tabs_sim in
+  let open Tabs_core in
+  let open Tabs_servers in
+  let scramble = Generator.scramble and poisson_gap = Generator.poisson_gap in
+  let c =
+    Cluster.create ~nodes:chaos_shards ~group_commit:gc_config
+      ~checkpointing:
+        { Tabs_recovery.Checkpointer.default with interval = 100_000 }
+      ~parallel_recovery:{ Tabs_recovery.Parallel_redo.fibers = 4 }
+      ~instant_restart:instant ()
+  in
+  let engine = Cluster.engine c in
+  let arr =
+    Sharded.Int_array.deploy c ~name:"k" ~keys:chaos_keys ()
+  in
+  let rng = Rng.create ~seed:7 in
+  let zipf = Rng.Zipf.create ~n:chaos_keys ~theta:0.9 in
+  let sample_key () = scramble ~keys:chaos_keys (Rng.Zipf.sample zipf rng) in
+  let victim_shard = 1 in
+  let victim = Cluster.shard_node c victim_shard in
+  let offered = ref 0 and refused = ref 0 in
+  let committed = ref 0 and aborted = ref 0 in
+  let outage_committed = ref 0 in
+  let latencies = ref [] in
+  let victim_first_commit = ref None in
+  let outstanding = Array.make (Cluster.node_count c) 0 in
+  let max_outstanding = 64 in
+  let spawn_txn ~primary_key ~secondary_key =
+    let loc = Sharded.Int_array.locate arr primary_key in
+    let gateway = loc.Placement.node in
+    if not (Node.is_up (Cluster.node c gateway)) then incr refused
+    else if outstanding.(gateway) >= max_outstanding then incr refused
+    else begin
+      outstanding.(gateway) <- outstanding.(gateway) + 1;
+      let node = Cluster.node c gateway in
+      let tm = Node.tm node and rpc = Node.rpc node in
+      Cluster.spawn c ~node:gateway (fun () ->
+          let t0 = Engine.now engine in
+          let value = t0 land 0xFFFF in
+          (match
+             Txn_lib.execute_transaction tm (fun tid ->
+                 Sharded.Int_array.set arr rpc tid primary_key value;
+                 match secondary_key with
+                 | Some k -> Sharded.Int_array.set arr rpc tid k value
+                 | None -> ())
+           with
+          | () ->
+              incr committed;
+              let now = Engine.now engine in
+              if now >= chaos_kill_at && now < chaos_kill_at + 1_000_000
+              then incr outage_committed;
+              if
+                loc.Placement.shard = victim_shard
+                && now >= chaos_restart_at
+                && !victim_first_commit = None
+              then victim_first_commit := Some now;
+              latencies := (now - t0) :: !latencies
+          | exception Errors.Lock_timeout _ -> incr aborted
+          | exception Errors.Deadlock _ -> incr aborted
+          | exception Errors.Transaction_is_aborted _ -> incr aborted
+          | exception Rpc.Rpc_timeout _ -> incr aborted);
+          outstanding.(gateway) <- outstanding.(gateway) - 1)
+    end
+  in
+  let rec arrival () =
+    if Engine.now engine < chaos_horizon then begin
+      incr offered;
+      let cross = Rng.bool rng ~p:chaos_cross_frac in
+      let a = sample_key () in
+      let secondary =
+        if not cross then None
+        else begin
+          let sa = (Sharded.Int_array.locate arr a).Placement.shard in
+          let rec draw tries =
+            if tries = 0 then None
+            else
+              let b = sample_key () in
+              if
+                (Sharded.Int_array.locate arr b).Placement.shard <> sa
+                && b <> a
+              then Some b
+              else draw (tries - 1)
+          in
+          draw 32
+        end
+      in
+      spawn_txn ~primary_key:a ~secondary_key:secondary;
+      Engine.at engine
+        ~delay:(poisson_gap rng ~offered_load:chaos_offered_load)
+        arrival
+    end
+  in
+  Engine.at engine
+    ~delay:(poisson_gap rng ~offered_load:chaos_offered_load)
+    arrival;
+  Cluster.run_until c ~time:chaos_kill_at;
+  Node.crash victim;
+  Cluster.run_until c ~time:chaos_restart_at;
+  (* the restart clears the dead node's accept queue *)
+  outstanding.(Node.id victim) <- 0;
+  let restart_t0 = Engine.now engine in
+  let outcome = ref None in
+  Cluster.spawn c
+    ~node:(Node.id victim)
+    (fun () ->
+      outcome :=
+        Some
+          (Node.restart victim
+             ~reinstall:(fun env ->
+               ignore (Sharded.Int_array.reinstall arr ~shard:victim_shard env))
+             ()));
+  Cluster.run_until c ~time:(3 * chaos_horizon);
+  let outcome =
+    match !outcome with
+    | Some o -> o
+    | None -> failwith "chaos: the victim never finished recovering"
+  in
+  {
+    ch_instant = instant;
+    ch_offered = !offered;
+    ch_committed = !committed;
+    ch_aborted = !aborted;
+    ch_refused = !refused;
+    ch_txn_per_sec =
+      float_of_int !committed
+      /. (float_of_int chaos_horizon /. 1_000_000.);
+    ch_p99_us = Tabs_obs.Hist.p99 (Tabs_obs.Hist.of_list !latencies);
+    ch_outage_committed = !outage_committed;
+    ch_open_us = outcome.Tabs_recovery.Recovery_mgr.time_to_open_us;
+    ch_ttfc_us =
+      (match !victim_first_commit with
+      | Some t -> t - restart_t0
+      | None -> 0);
+  }
+
 let json_file = "BENCH_scaleout.json"
 
 let arm_json oc prefix (s : Generator.stats) =
@@ -47,7 +219,16 @@ let arm_json oc prefix (s : Generator.stats) =
     s.p95_single_us prefix s.p50_cross_us prefix s.p95_cross_us prefix
     s.wire_messages prefix s.msgs_per_cross_commit
 
-let write_json pairs =
+let chaos_json oc (s : chaos_stats) =
+  Printf.fprintf oc
+    "    {\"instant\": %b, \"offered\": %d, \"committed\": %d, \"aborted\": \
+     %d, \"refused\": %d, \"txn_per_sec\": %.2f, \"p99_us\": %d, \
+     \"outage_committed\": %d, \"open_us\": %d, \"ttfc_us\": %d}"
+    s.ch_instant s.ch_offered s.ch_committed s.ch_aborted s.ch_refused
+    s.ch_txn_per_sec s.ch_p99_us s.ch_outage_committed s.ch_open_us
+    s.ch_ttfc_us
+
+let write_json pairs ~chaos_off ~chaos_on =
   let oc = open_out json_file in
   Printf.fprintf oc
     "{\n\
@@ -70,7 +251,19 @@ let write_json pairs =
       Printf.fprintf oc "}%s\n"
         (if i = List.length pairs - 1 then "" else ","))
     pairs;
-  output_string oc "  ]\n}\n";
+  output_string oc "  ],\n";
+  Printf.fprintf oc
+    "  \"chaos\": {\n\
+    \    \"shards\": %d,\n\
+    \    \"kill_at_us\": %d,\n\
+    \    \"restart_at_us\": %d,\n\
+    \    \"horizon_us\": %d,\n\
+    \    \"arms\": [\n"
+    chaos_shards chaos_kill_at chaos_restart_at chaos_horizon;
+  chaos_json oc chaos_off;
+  output_string oc ",\n";
+  chaos_json oc chaos_on;
+  output_string oc "\n    ]\n  }\n}\n";
   close_out oc
 
 let print_scaleout () =
@@ -108,7 +301,34 @@ let print_scaleout () =
             /. float_of_int (max 1 one.off.committed))
       | _ -> ())
   | _ -> ());
-  write_json pairs;
+  Printf.printf
+    "\nChaos: shard %d's node killed at %.1fs, restarted at %.1fs (%d \
+     shards,\n\
+     %.0f offered txn/s; group commit + checkpointing + parallel recovery \
+     in both arms)\n"
+    1
+    (float_of_int chaos_kill_at /. 1_000_000.)
+    (float_of_int chaos_restart_at /. 1_000_000.)
+    chaos_shards chaos_offered_load;
+  Printf.printf "%s\n" (String.make 76 '-');
+  let chaos_off = run_chaos ~instant:false in
+  let chaos_on = run_chaos ~instant:true in
+  Printf.printf "    %8s %10s %8s %8s %8s %11s %9s %9s\n" "instant"
+    "committed" "txn/s" "aborted" "p99 us" "outage txn" "open us" "ttfc us";
+  List.iter
+    (fun s ->
+      Printf.printf "    %8s %10d %8.1f %8d %8d %11d %9d %9d\n"
+        (if s.ch_instant then "on" else "off")
+        s.ch_committed s.ch_txn_per_sec s.ch_aborted s.ch_p99_us
+        s.ch_outage_committed s.ch_open_us s.ch_ttfc_us)
+    [ chaos_off; chaos_on ];
+  Printf.printf
+    "  (outage txn = commits within 1s of the kill; open us = recovery \
+     time\n\
+    \   before the node serves; ttfc us = restart start to the wounded \
+     shard's\n\
+    \   first commit)\n";
+  write_json pairs ~chaos_off ~chaos_on;
   Printf.printf
     "  (single-shard transactions commit locally and scale with shard \
      count;\n\

@@ -164,9 +164,9 @@ let finish_trace topts = function
 
 (* crash ------------------------------------------------------------------ *)
 
-let run_crash profile group_commit checkpointing comm_batching topts =
+let run_crash profile group_commit checkpointing comm_batching topts instant =
   let c = Cluster.create ~nodes:1 ~profile ?group_commit ?checkpointing
-      ?comm_batching () in
+      ?comm_batching ~instant_restart:instant () in
   let tr = start_trace topts c in
   let node = Cluster.node c 0 in
   let arr = Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells:64 () in
@@ -193,6 +193,9 @@ let run_crash profile group_commit checkpointing comm_batching topts =
   say "recovery: scanned %d records, %d loser(s) rolled back"
     outcome.records_scanned
     (List.length outcome.losers);
+  if outcome.open_early then
+    say "instant restart: node open after %d virtual us (redo parked)"
+      outcome.time_to_open_us;
   let arr = Option.get !holder in
   Cluster.run_fiber c ~node:0 (fun () ->
       let v =
@@ -200,6 +203,14 @@ let run_crash profile group_commit checkpointing comm_batching topts =
             Int_array_server.get arr tid 0)
       in
       say "cell0 after recovery = %d (the uncommitted 666 is gone)" v);
+  if instant then begin
+    let m = Metrics.recovery (Engine.metrics (Cluster.engine c)) ~node:0 in
+    say
+      "pages replayed: %d on first touch, %d by trickle, %d at restart; %d \
+       still pending"
+      m.Metrics.ondemand_pages m.Metrics.trickle_pages m.Metrics.restart_pages
+      m.Metrics.pending_pages
+  end;
   finish_trace topts tr;
   0
 
@@ -475,10 +486,19 @@ let run_scaleout profile group_commit checkpointing comm_batching topts shards
 (* cmdliner wiring ------------------------------------------------------------- *)
 
 let crash_cmd =
+  let instant =
+    Arg.(
+      value & flag
+      & info [ "instant" ]
+          ~doc:
+            "Restart with instant restart: the node opens right after the \
+             analysis scan and each page's parked log chain is replayed on \
+             its first touch (or by the background trickle).")
+  in
   Cmd.v (Cmd.info "crash" ~doc:"Single-node crash and recovery walkthrough")
     Term.(
       const run_crash $ profile_arg $ group_commit_arg $ checkpointing_arg
-      $ comm_batch_arg $ trace_arg)
+      $ comm_batch_arg $ trace_arg $ instant)
 
 let twophase_cmd =
   let nodes =

@@ -33,6 +33,7 @@ type t = {
   profile : Profile.t;
   table : (Disk.page_id, frame) Hashtbl.t;
   mutable hooks : wal_hooks option;
+  mutable on_fault : (Disk.page_id -> unit) option;
   mutable tick : int;
   mutable fault_count : int;
 }
@@ -46,11 +47,14 @@ let attach engine disk ~frames ?(profile = Profile.Classic) () =
     profile;
     table = Hashtbl.create (2 * frames);
     hooks = None;
+    on_fault = None;
     tick = 0;
     fault_count = 0;
   }
 
 let set_wal_hooks t hooks = t.hooks <- Some hooks
+
+let set_on_fault t f = t.on_fault <- f
 
 let disk t = t.disk
 
@@ -141,6 +145,11 @@ let rec evict_victim t =
       else evict_victim t
 
 let fault t pid ~access =
+  (* Instant restart's redo-on-first-touch gate: the Recovery Manager
+     replays the page's parked log chain before the access proceeds.
+     Consulted on hits too — residency does not imply the chain was
+     replayed (analysis does not fault pages in). *)
+  (match t.on_fault with None -> () | Some f -> f pid);
   match Hashtbl.find_opt t.table pid with
   | Some frame ->
       touch t frame;

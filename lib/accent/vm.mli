@@ -55,6 +55,15 @@ val attach :
 
 val set_wal_hooks : t -> wal_hooks -> unit
 
+(** [set_on_fault t (Some f)] installs a gate consulted on {e every}
+    page access through the demand-paging path — faults and hits alike —
+    before the frame is returned. Instant restart parks per-page redo
+    chains and uses this gate to replay a page's chain behind the page
+    latch on first touch; the replay itself re-enters the paging path,
+    so the gate must be re-entrant (the Recovery Manager's gate keys on
+    the owning fiber). [None] (the default) costs one match. *)
+val set_on_fault : t -> (Tabs_storage.Disk.page_id -> unit) option -> unit
+
 val profile : t -> Tabs_sim.Profile.t
 
 val disk : t -> Tabs_storage.Disk.t

@@ -10,8 +10,8 @@ type t = {
 }
 
 let create ?cost_model ?(seed = 1) ?profile ?group_commit ?checkpointing
-    ?parallel_recovery ?comm_batching ?commit_protocol ?frames
-    ?log_space_limit ?read_only_optimization ?topology ~nodes () =
+    ?parallel_recovery ?instant_restart ?comm_batching ?commit_protocol
+    ?frames ?log_space_limit ?read_only_optimization ?topology ~nodes () =
   let topology =
     match topology with
     | Some topo -> topo
@@ -23,8 +23,8 @@ let create ?cost_model ?(seed = 1) ?profile ?group_commit ?checkpointing
   let node_arr =
     Array.init nodes (fun id ->
         Node.create engine net ~id ?profile ?group_commit ?checkpointing
-          ?parallel_recovery ?comm_batching ?commit_protocol ?frames
-          ?log_space_limit ?read_only_optimization ())
+          ?parallel_recovery ?instant_restart ?comm_batching ?commit_protocol
+          ?frames ?log_space_limit ?read_only_optimization ())
   in
   { engine; net; node_arr; topology; placement = Placement.create topology }
 

@@ -14,8 +14,10 @@ type t
     and [?group_commit] the same force-batching configuration (see
     {!Node.create}) to every node, as does [?checkpointing] for the
     background checkpoint daemon, [?parallel_recovery] for
-    dependency-logged parallel restart recovery, and [?comm_batching]
-    for the Communication Managers' comm-batching layer.
+    dependency-logged parallel restart recovery, [?instant_restart] for
+    serve-while-recovering restart with on-demand per-page redo, and
+    [?comm_batching] for the Communication Managers' comm-batching
+    layer.
 
     [?topology] overrides the default one-shard-per-node layout; when it
     names more nodes than [nodes], enough nodes are created to host
@@ -27,6 +29,7 @@ val create :
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?parallel_recovery:Tabs_recovery.Parallel_redo.config ->
+  ?instant_restart:bool ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->

@@ -25,6 +25,7 @@ type t = {
   group_commit : Group_commit.config option;
   checkpointing : Checkpointer.config option;
   parallel_recovery : Parallel_redo.config option;
+  instant_restart : bool;
   comm_batching : Comm_mgr.batching option;
   commit_protocol : Commit_protocol.t;
   frames : int;
@@ -37,13 +38,13 @@ type t = {
 }
 
 let build_incarnation engine net disk stable ~id ~profile ~group_commit
-    ~checkpointing ~parallel_recovery ~comm_batching ~commit_protocol ~frames
-    ~log_space_limit ~read_only_optimization =
+    ~checkpointing ~parallel_recovery ~instant_restart ~comm_batching
+    ~commit_protocol ~frames ~log_space_limit ~read_only_optimization =
   let vm = Vm.attach engine disk ~frames ~profile () in
   let log = Log_manager.attach engine stable in
   let rm =
     Recovery_mgr.create engine ~node:id ~log ~vm ~profile ?group_commit
-      ?checkpointing ~log_space_limit ?parallel_recovery ()
+      ?checkpointing ~log_space_limit ?parallel_recovery ~instant_restart ()
   in
   let cm = Comm_mgr.create net ~node:id ?batching:comm_batching () in
   let tm =
@@ -55,19 +56,20 @@ let build_incarnation engine net disk stable ~id ~profile ~group_commit
   { vm; log; rm; cm; tm; ns; rpc }
 
 let create engine net ~id ?(profile = Profile.Classic) ?group_commit
-    ?checkpointing ?parallel_recovery ?comm_batching
-    ?(commit_protocol = Commit_protocol.default) ?(frames = 1500)
-    ?(log_space_limit = 256 * 1024) ?(read_only_optimization = true) () =
+    ?checkpointing ?parallel_recovery ?(instant_restart = false)
+    ?comm_batching ?(commit_protocol = Commit_protocol.default)
+    ?(frames = 1500) ?(log_space_limit = 256 * 1024)
+    ?(read_only_optimization = true) () =
   let disk = Disk.create engine in
   let stable = Stable.create () in
   let live =
     build_incarnation engine net disk stable ~id ~profile ~group_commit
-      ~checkpointing ~parallel_recovery ~comm_batching ~commit_protocol
-      ~frames ~log_space_limit ~read_only_optimization
+      ~checkpointing ~parallel_recovery ~instant_restart ~comm_batching
+      ~commit_protocol ~frames ~log_space_limit ~read_only_optimization
   in
   { engine; net; node_id = id; profile; group_commit; checkpointing;
-    parallel_recovery; comm_batching; commit_protocol; frames;
-    log_space_limit;
+    parallel_recovery; instant_restart; comm_batching; commit_protocol;
+    frames; log_space_limit;
     read_only_optimization; disk; stable; live; up = true }
 
 let id t = t.node_id
@@ -122,7 +124,8 @@ let restart t ~reinstall ?(after_recovery = fun _ -> ()) () =
     build_incarnation t.engine t.net t.disk t.stable ~id:t.node_id
       ~profile:t.profile ~group_commit:t.group_commit
       ~checkpointing:t.checkpointing ~parallel_recovery:t.parallel_recovery
-      ~comm_batching:t.comm_batching ~commit_protocol:t.commit_protocol
+      ~instant_restart:t.instant_restart ~comm_batching:t.comm_batching
+      ~commit_protocol:t.commit_protocol
       ~frames:t.frames ~log_space_limit:t.log_space_limit
       ~read_only_optimization:t.read_only_optimization;
   t.up <- true;

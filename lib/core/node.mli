@@ -41,6 +41,16 @@ type t
     to a build without the feature. The setting survives
     {!crash}/{!restart}.
 
+    [?instant_restart] makes {!restart}'s recovery open the node after
+    the analysis scan alone: redo and loser undo are parked as
+    per-page chains, replayed on the first touch of each page and
+    drained in the background by a trickle fiber
+    ({!Tabs_recovery.Recovery_mgr}). Also turns on dependency logging
+    (the chains come from the parallel-recovery phase graphs). Off by
+    default — no access gate is installed and restart is
+    byte-identical to a build without the feature. The setting
+    survives {!crash}/{!restart}.
+
     [?comm_batching] enables the Communication Manager's comm-batching
     layer ({!Tabs_net.Comm_mgr.batching}): piggybacked/delayed session
     acks and datagram coalescing. Off by default for the same reason as
@@ -63,6 +73,7 @@ val create :
   ?group_commit:Tabs_recovery.Group_commit.config ->
   ?checkpointing:Tabs_recovery.Checkpointer.config ->
   ?parallel_recovery:Tabs_recovery.Parallel_redo.config ->
+  ?instant_restart:bool ->
   ?comm_batching:Tabs_net.Comm_mgr.batching ->
   ?commit_protocol:Tabs_tm.Commit_protocol.t ->
   ?frames:int ->

@@ -106,6 +106,10 @@ let note_first_operation t tid =
   end
 
 let enter_operation t tid =
+  (* A request can race a restart: the node re-registers its servers
+     before replaying the log, so data is consistent only once the
+     Recovery Manager opens. Costs nothing when the node is up. *)
+  Recovery_mgr.await_open t.env.rm;
   if Txn_mgr.is_aborted t.env.tm tid then
     raise (Errors.Transaction_is_aborted tid);
   note_first_operation t tid
@@ -238,8 +242,12 @@ let relock_in_doubt t entries =
   List.iter
     (fun (tid, (obj : Object_id.t)) ->
       if obj.segment = t.segment then begin
+        (* On an eager restart nothing else runs yet, so the try-lock
+           always succeeds. Under instant restart the node is already
+           serving: a new transaction may hold the lock for the length
+           of its own access, so fall back to a blocking acquire. *)
         if not (Lock_manager.try_lock t.locks tid obj Mode.Write) then
-          failwith "relock_in_doubt: conflicting lock at restart";
+          lock_object t tid obj Mode.Write;
         (* re-join so the coordinator's eventual verdict reaches this
            server and releases the locks *)
         if not (Hashtbl.mem t.joined (Tid.top_level tid)) then begin

@@ -176,6 +176,19 @@ let inspect (ev : Trace.event) =
             ("in_doubt", Int e.in_doubt);
           ];
       }
+  | Recovery_mgr.Rm_ondemand_redo e ->
+      {
+        name = "ondemand_redo";
+        fields =
+          [
+            ("node", Int e.node);
+            ("segment", Int e.segment);
+            ("page", Int e.page);
+            ("records", Int e.records);
+            ("via", Str e.via);
+            ("pending", Int e.pending);
+          ];
+      }
   (* transaction manager / 2PC *)
   | Txn_mgr.Txn_begin e ->
       { name = "txn_begin"; fields = [ ("node", Int e.node); ("tid", tid e.tid) ] }

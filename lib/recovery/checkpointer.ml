@@ -26,6 +26,12 @@ type t = {
   floor : unit -> Record.lsn option;
       (* extra truncation floor (Paxos acceptor state lives outside the
          transaction chains but must survive until its txn is decided) *)
+  gate : unit -> bool;
+      (* cycles are skipped while this is false. Restart recovery holds
+         it: after [Log_manager.attach] the chain table is empty until
+         recovery restores it, so a cycle fired in that window would
+         compute no chain floor and truncate in-doubt undo chains — and
+         its checkpoint record would omit the prepared set. *)
   wake_q : unit Engine.Waitq.t;
   mutable pending : bool;
   mutable last_cycle : int;
@@ -84,10 +90,11 @@ let cycle t =
 let rec daemon t =
   if not t.pending then Engine.Waitq.wait t.wake_q;
   t.pending <- false;
-  cycle t;
+  if t.gate () then cycle t;
   daemon t
 
-let create engine ~node ~vm ~log ~checkpoint ?(floor = fun () -> None) config =
+let create engine ~node ~vm ~log ~checkpoint ?(floor = fun () -> None)
+    ?(gate = fun () -> true) config =
   let t =
     {
       engine;
@@ -97,6 +104,7 @@ let create engine ~node ~vm ~log ~checkpoint ?(floor = fun () -> None) config =
       config;
       checkpoint;
       floor;
+      gate;
       wake_q = Engine.Waitq.create ();
       pending = false;
       last_cycle = 0;

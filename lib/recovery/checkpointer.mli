@@ -40,13 +40,17 @@ type Tabs_sim.Trace.event +=
       records : int;
     }
 
-(** [create engine ~node ~vm ~log ~checkpoint ?floor config] spawns the
-    daemon fiber. [checkpoint] is the Recovery Manager's fuzzy
-    checkpoint (passed as a closure — the Recovery Manager owns the
-    daemon). [?floor] supplies an extra truncation floor each cycle:
+(** [create engine ~node ~vm ~log ~checkpoint ?floor ?gate config]
+    spawns the daemon fiber. [checkpoint] is the Recovery Manager's
+    fuzzy checkpoint (passed as a closure — the Recovery Manager owns
+    the daemon). [?floor] supplies an extra truncation floor each cycle:
     Paxos Commit acceptor records belong to no local transaction chain,
     so without it the daemon would reclaim consensus state a takeover
-    still needs. *)
+    still needs. [?gate] (default: always true) is consulted before each
+    cycle; a cycle whose gate reads false is skipped entirely. Restart
+    recovery holds the gate closed: until it restores the log's chain
+    table, a cycle would see no live chains, truncate in-doubt undo
+    records, and write a checkpoint missing the prepared set. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
@@ -54,6 +58,7 @@ val create :
   log:Tabs_wal.Log_manager.t ->
   checkpoint:(unit -> Tabs_wal.Record.lsn) ->
   ?floor:(unit -> Tabs_wal.Record.lsn option) ->
+  ?gate:(unit -> bool) ->
   config ->
   t
 

@@ -219,6 +219,24 @@ let build records =
   in
   { op; value }
 
+let op_members t = t.op.members
+
+let value_members t = t.value.members
+
+(* Predecessor lists by member position, inverting the stored successor
+   lists. Instant restart walks these to close a page's chain over the
+   cross-page records it depends on. *)
+let preds_of phase =
+  let preds = Array.make (Array.length phase.members) [] in
+  Array.iteri
+    (fun a succs -> List.iter (fun b -> preds.(b) <- a :: preds.(b)) succs)
+    phase.succs;
+  preds
+
+let op_preds t = preds_of t.op
+
+let value_preds t = preds_of t.value
+
 let stats t =
   {
     op_records = Array.length t.op.members;

@@ -55,6 +55,31 @@ val build : (Tabs_wal.Record.lsn * Tabs_wal.Record.t) array -> t
 
 val stats : t -> stats
 
+(** {2 Graph introspection}
+
+    Instant restart reuses the phase graphs for lazy per-page replay:
+    it indexes members by page and, on first touch of a page, applies
+    the predecessor closure of that page's chain in priority order.
+    Member arrays hold indices into the original records array, in
+    phase priority order (ascending LSN for operations; value members
+    are in log order but drain newest-first). *)
+
+(** [op_members g] — operation-phase members, indices into the records
+    array passed to {!build}, in log order. *)
+val op_members : t -> int array
+
+(** [value_members g] — value-phase members, in log order. *)
+val value_members : t -> int array
+
+(** [op_preds g] — predecessor member positions (same-page chains plus
+    dependency edges) for each operation-phase member position. Fresh
+    arrays: callers may mutate. *)
+val op_preds : t -> int list array
+
+(** [value_preds g] — predecessor (newer same-page record) positions
+    for each value-phase member position. *)
+val value_preds : t -> int list array
+
 (** [run_op_phase g engine ~node ~fibers ~apply] drains the operation
     graph over [fibers] worker fibers spawned on [node]; [apply i] is
     called with the index into the original records array once record

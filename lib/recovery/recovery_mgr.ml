@@ -19,6 +19,14 @@ type Trace.event +=
       losers : int;
       in_doubt : int;
     }
+  | Rm_ondemand_redo of {
+      node : int;
+      segment : int;
+      page : int;
+      records : int; (* parked chain records drained by this replay *)
+      via : string; (* "fault" (first touch) or "trickle" (background) *)
+      pending : int; (* per-page chains still parked afterwards *)
+    }
 
 type op_handler = { redo : op:string -> arg:string -> unit;
                     undo : op:string -> arg:string -> unit }
@@ -37,6 +45,67 @@ type recovery_outcome = {
       (* surviving Paxos Commit acceptor state, already re-appended
          above the closing checkpoint; the TM reseeds its acceptor from
          these (the LSNs restore its truncation floor) *)
+  open_early : bool;
+      (* instant restart: the node opened after analysis with redo
+         parked per page; false after a full (eager) replay *)
+  time_to_open_us : int;
+      (* virtual time from entering [recover] until the node could
+         accept transactions — the whole recovery for an eager restart,
+         analysis + bookkeeping only for an instant one *)
+}
+
+type analysis = {
+  records : (Record.lsn * Record.t) array;
+  statuses : (Tid.t, txn_status) Hashtbl.t; (* top-level tids *)
+  aborted : (Tid.t, unit) Hashtbl.t; (* incl. subtransactions *)
+}
+
+module Obj_key = struct
+  type t = Object_id.t
+
+  let equal = Object_id.equal
+
+  let hash = Object_id.hash
+end
+
+module Obj_set = Hashtbl.Make (Obj_key)
+
+(* Instant restart's parked redo state: the per-page chains from
+   {!Parallel_redo}'s phase graphs, indexed by page, plus application
+   flags so a record shared between pages (multi-page operations,
+   cross-page dependency closures) is applied exactly once. A page
+   leaves [pending] when every member touching it — operation redo,
+   value, and loser undo — has been applied. *)
+type ondemand = {
+  od_analysis : analysis;
+  (* operation redo phase: forward order, chains + dependency edges *)
+  od_op_members : int array;
+  od_op_preds : int list array;
+  od_op_applied : bool array;
+  od_page_ops : (Disk.page_id, int list) Hashtbl.t;
+  (* value phase: per-page chains drained newest-first *)
+  od_val_members : int array;
+  od_val_preds : int list array;
+  od_val_applied : bool array;
+  od_page_values : (Disk.page_id, int list) Hashtbl.t;
+  od_finalized : unit Obj_set.t;
+  (* loser undo: newest-first, after redo of every page it touches *)
+  od_undo_members : int array;
+  od_undo_preds : int list array;
+  od_undo_applied : bool array;
+  od_page_undos : (Disk.page_id, int list) Hashtbl.t;
+  (* page state *)
+  od_pending : (Disk.page_id, unit) Hashtbl.t;
+  od_page_first : (Disk.page_id, Record.lsn) Hashtbl.t;
+      (* oldest parked record per page — the conservative recovery LSN
+         a checkpoint taken in the window must report for it *)
+  od_redo_done : (Disk.page_id, unit) Hashtbl.t;
+  mutable od_paxos_floor : Record.lsn option;
+      (* oldest re-appended acceptor record: held down until the
+         trickle finalizes (the TM's own floor takes over by then) *)
+  mutable od_owner : int; (* fiber id mid-replay; -1 when free *)
+  od_latch : unit Engine.Waitq.t;
+  mutable od_applies : int; (* chain records drained by current replay *)
 }
 
 type t = {
@@ -63,9 +132,24 @@ type t = {
          still backs undecided consensus state — those records belong to
          no transaction chain, so reclamation would otherwise eat them *)
   parallel : Parallel_redo.config option;
+  instant : bool;
+  mutable ondemand : ondemand option;
+      (* Some while an instant restart's chains are still parked *)
+  mutable replayed_pages : (Disk.page_id, unit) Hashtbl.t option;
+      (* eager-replay instrumentation: distinct pages the redo/undo
+         passes wrote, counted into the Metrics restart_pages row *)
   mutable apply_hook : (phase:string -> lsn:Record.lsn -> unit) option;
       (* test instrumentation: observes every redo/undo application, in
          order, from both the serial and the parallel replay paths *)
+  mutable recovering : bool;
+      (* true from the start of [recover] until the log's chain table is
+         restored. [Log_manager.attach] starts the table empty, so any
+         truncation decided in that window would see no live chains and
+         reclaim records that in-doubt transactions still need for undo;
+         the flag pins the reclamation floor and holds the checkpoint
+         daemon's cycle gate closed until restoration completes. *)
+  open_q : unit Engine.Waitq.t;
+      (* fibers parked in [await_open], woken when [recover] returns *)
 }
 
 let log t = t.log
@@ -84,6 +168,32 @@ let set_prepared_source t f = t.prepared_source <- f
 let set_truncation_floor_source t f = t.truncation_floor_source <- f
 
 let set_apply_hook t f = t.apply_hook <- f
+
+(* The log floor parked recovery work pins: the oldest record of any
+   still-pending per-page chain, plus the re-appended Paxos acceptor
+   records (held until the trickle's finalize; the TM's own floor
+   covers the acceptor from the moment it reseeds). *)
+let ondemand_floor t =
+  match t.ondemand with
+  | None -> None
+  | Some st ->
+      Hashtbl.fold
+        (fun pid () acc ->
+          let f = Hashtbl.find st.od_page_first pid in
+          match acc with
+          | Some a when a <= f -> acc
+          | Some _ | None -> Some f)
+        st.od_pending st.od_paxos_floor
+
+let reclamation_floor t =
+  if t.recovering then
+    (* Chain table not restored yet (see [recovering]): pin the floor at
+       the log's first retained record so any truncation is a no-op. *)
+    Some (Log_manager.first_lsn t.log)
+  else
+    match (ondemand_floor t, t.truncation_floor_source ()) with
+    | None, f | f, None -> f
+    | Some a, Some b -> Some (min a b)
 
 let hook t phase lsn =
   match t.apply_hook with None -> () | Some f -> f ~phase ~lsn
@@ -256,6 +366,26 @@ let abort t ~tid =
    wired. *)
 let checkpoint t =
   let dirty_pages = Vm.dirty_pages t.vm in
+  (* Parked instant-restart chains are recovery work this checkpoint
+     must keep reachable: report each still-pending page at its chain's
+     oldest record, as if dirty at that recovery LSN, so a re-crash in
+     the serving window re-anchors below the parked redo. *)
+  let dirty_pages =
+    match t.ondemand with
+    | None -> dirty_pages
+    | Some st ->
+        let merged = Hashtbl.create 32 in
+        List.iter (fun (pid, r) -> Hashtbl.replace merged pid r) dirty_pages;
+        Hashtbl.iter
+          (fun pid () ->
+            let f = Hashtbl.find st.od_page_first pid in
+            match Hashtbl.find_opt merged pid with
+            | Some r when r <= f -> ()
+            | Some _ | None -> Hashtbl.replace merged pid f)
+          st.od_pending;
+        Hashtbl.fold (fun pid r acc -> (pid, r) :: acc) merged []
+        |> List.sort compare
+  in
   (* The TM's view of which transactions are live lags the log: while a
      commit force is in flight the commit record is appended but the TM
      has not yet recorded the outcome. A checkpoint taken in that window
@@ -294,6 +424,21 @@ let checkpoint t =
     Log_manager.append t.log
       (Record.Checkpoint { dirty_pages; active_txns; prepared })
   in
+  (* Checkpoint-time pruning of the dependency last-writer table: an
+     entry below this checkpoint's scan anchor can never seed a kept
+     edge — the next restart's analysis starts at the anchor, and
+     {!Parallel_redo.build} drops dependency predecessors below it as
+     provably on disk. No-op unless dependency logging is on. *)
+  let prune_floor =
+    List.fold_left (fun acc (_, r) -> min acc r) lsn dirty_pages
+  in
+  let prune_floor =
+    List.fold_left
+      (fun acc (_, first) ->
+        match first with Some f -> min acc f | None -> acc)
+      prune_floor active_txns
+  in
+  Log_manager.prune_last_writer t.log ~floor:prune_floor;
   if Engine.tracing t.engine then
     Engine.emit t.engine
       (Rm_checkpoint
@@ -332,7 +477,7 @@ let maybe_reclaim t =
             (Vm.dirty_pages t.vm)
         in
         let keep_from =
-          match t.truncation_floor_source () with
+          match reclamation_floor t with
           | Some f -> min keep_from f
           | None -> keep_from
         in
@@ -341,11 +486,13 @@ let maybe_reclaim t =
 
 let create engine ~node ~log ~vm ?(profile = Profile.Classic)
     ?group_commit ?checkpointing ?(log_space_limit = 256 * 1024)
-    ?parallel_recovery () =
-  (* Parallel recovery needs the conflict edges on the log: enabling it
-     turns dependency-record emission on for the whole incarnation, so
-     the next crash finds its graph already written. *)
-  if parallel_recovery <> None then Log_manager.set_dep_logging log true;
+    ?parallel_recovery ?(instant_restart = false) () =
+  (* Parallel recovery and instant restart both need the conflict edges
+     on the log: enabling either turns dependency-record emission on for
+     the whole incarnation, so the next crash finds its graph already
+     written. *)
+  if parallel_recovery <> None || instant_restart then
+    Log_manager.set_dep_logging log true;
   let t =
     {
       engine;
@@ -368,7 +515,12 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       background_flush_interval = 250_000;
       truncation_floor_source = (fun () -> None);
       parallel = parallel_recovery;
+      instant = instant_restart;
+      ondemand = None;
+      replayed_pages = None;
       apply_hook = None;
+      recovering = false;
+      open_q = Engine.Waitq.create ();
     }
   in
   Vm.set_wal_hooks vm (wal_hooks t);
@@ -377,18 +529,13 @@ let create engine ~node ~log ~vm ?(profile = Profile.Classic)
       (fun config ->
         Checkpointer.create engine ~node ~vm ~log
           ~checkpoint:(fun () -> checkpoint t)
-          ~floor:(fun () -> t.truncation_floor_source ())
+          ~floor:(fun () -> reclamation_floor t)
+          ~gate:(fun () -> not t.recovering)
           config)
       checkpointing;
   t
 
 (* Crash recovery ------------------------------------------------------ *)
-
-type analysis = {
-  records : (Record.lsn * Record.t) array;
-  statuses : (Tid.t, txn_status) Hashtbl.t; (* top-level tids *)
-  aborted : (Tid.t, unit) Hashtbl.t; (* incl. subtransactions *)
-}
 
 let status_of a top =
   match Hashtbl.find_opt a.statuses top with Some s -> s | None -> Active
@@ -525,7 +672,10 @@ let apply_op_redo t a i =
         hook t "op_redo" lsn;
         small_msg t;
         (op_handler t u.server).redo ~op:u.operation ~arg:u.redo_arg;
-        Vm.note_pages t.vm u.pages ~lsn
+        Vm.note_pages t.vm u.pages ~lsn;
+        match t.replayed_pages with
+        | Some set -> List.iter (fun pid -> Hashtbl.replace set pid ()) u.pages
+        | None -> ()
       end
   | _ -> ()
 
@@ -536,26 +686,22 @@ let op_redo_pass t a =
    repeated in pass 2, so every loser effect is present. Always serial:
    an undo walks a single transaction's chain newest-first, and chains
    of different losers may touch the same objects. *)
+let apply_op_undo t a i =
+  match a.records.(i) with
+  | lsn, Record.Update_operation u when not (winner a u.tid) ->
+      hook t "op_undo" lsn;
+      small_msg t;
+      (op_handler t u.server).undo ~op:u.operation ~arg:u.undo_arg;
+      Vm.note_pages t.vm u.pages ~lsn;
+      (match t.replayed_pages with
+      | Some set -> List.iter (fun pid -> Hashtbl.replace set pid ()) u.pages
+      | None -> ())
+  | _ -> ()
+
 let op_undo_pass t a =
   for i = Array.length a.records - 1 downto 0 do
-    match a.records.(i) with
-    | lsn, Record.Update_operation u when not (winner a u.tid) ->
-        hook t "op_undo" lsn;
-        small_msg t;
-        (op_handler t u.server).undo ~op:u.operation ~arg:u.undo_arg;
-        Vm.note_pages t.vm u.pages ~lsn
-    | _ -> ()
+    apply_op_undo t a i
   done
-
-module Obj_key = struct
-  type t = Object_id.t
-
-  let equal = Object_id.equal
-
-  let hash = Object_id.hash
-end
-
-module Obj_set = Hashtbl.Make (Obj_key)
 
 (* The single backward pass of value recovery: the newest record for an
    object decides it. A winner's new value finalizes the object; loser
@@ -580,18 +726,28 @@ let apply_value t a finalized i =
             (fun pid -> Disk.seqno (Vm.disk t.vm) pid >= lsn)
             (Object_id.pages u.obj)
         in
+        let mark () =
+          match t.replayed_pages with
+          | Some set ->
+              List.iter
+                (fun pid -> Hashtbl.replace set pid ())
+                (Object_id.pages u.obj)
+          | None -> ()
+        in
         if winner a u.tid then begin
           if not on_disk then begin
             hook t "value_redo" lsn;
             restore_value t u.obj u.new_value;
-            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+            Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn;
+            mark ()
           end;
           Obj_set.add finalized u.obj ()
         end
         else if on_disk then begin
           hook t "value_undo" lsn;
           restore_value t u.obj u.old_value;
-          Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn
+          Vm.note_pages t.vm (Object_id.pages u.obj) ~lsn;
+          mark ()
         end
       end
   | _ -> ()
@@ -602,29 +758,10 @@ let value_backward_pass t a =
     apply_value t a finalized i
   done
 
-let recover ?anchored t =
-  let a = analyze ?anchored t in
-  let replay_start = Engine.now t.engine in
-  let graph =
-    match t.parallel with
-    | None ->
-        op_redo_pass t a;
-        value_backward_pass t a;
-        None
-    | Some { Parallel_redo.fibers } ->
-        (* Graph-bounded fan-out: both redo passes drain their
-           dependency graphs over [fibers] worker fibers. The undo pass
-           below stays serial — it walks loser chains newest-first. *)
-        let g = Parallel_redo.build a.records in
-        Parallel_redo.run_op_phase g t.engine ~node:t.node ~fibers
-          ~apply:(apply_op_redo t a);
-        let finalized = Obj_set.create 64 in
-        Parallel_redo.run_value_phase g t.engine ~node:t.node ~fibers
-          ~apply:(apply_value t a finalized);
-        Some (Parallel_redo.stats g)
-  in
-  op_undo_pass t a;
-  let replay_us = Engine.now t.engine - replay_start in
+(* Shared restart bookkeeping: roll-back records for the losers, the
+   in-doubt set, and the re-registered in-doubt update chains a later
+   [abort] must be able to walk. *)
+let resolve_outcome t a =
   (* Roll-back records for the losers that never logged an outcome. *)
   let losers =
     Hashtbl.fold
@@ -673,45 +810,15 @@ let recover ?anchored t =
   |> List.sort compare
   |> List.iter (fun (tid, first, last) ->
          Log_manager.restore_chain t.log ~tid ~first ~last);
-  (* Segments must reflect exactly committed + prepared work. *)
-  Vm.flush_all t.vm;
-  Log_manager.force_all t.log;
-  (* Everything is on disk now; reclaim the scanned prefix so repeated
-     crashes do not re-read ever-growing history. Chains of in-doubt
-     transactions must stay walkable for a late Abort verdict, and the
-     closing checkpoint carries them so the next restart can anchor on
-     it. *)
-  let keep_from =
-    Hashtbl.fold (fun _ (first, _) acc -> min acc first) chains
-      (Log_manager.next_lsn t.log)
-  in
-  let family_first = Hashtbl.create 8 in
-  Hashtbl.iter
-    (fun tid (first, _) ->
-      let top = Tid.top_level tid in
-      match Hashtbl.find_opt family_first top with
-      | Some f when f <= first -> ()
-      | Some _ | None -> Hashtbl.replace family_first top first)
-    chains;
-  let ck =
-    Log_manager.append t.log
-      (Record.Checkpoint
-         {
-           dirty_pages = Vm.dirty_pages t.vm;
-           active_txns =
-             List.map
-               (fun (tid, _) -> (tid, Hashtbl.find_opt family_first tid))
-               in_doubt;
-           prepared = in_doubt;
-         })
-  in
-  (* Paxos Commit acceptor state must survive the reclamation below: it
-     belongs to no local transaction chain, so the keep_from floor would
-     eat it. Condense it — for a decided transaction only the decision
-     matters; for an undecided one the highest promise and the highest-
-     ballot accept per participant instance — and re-append it above the
-     closing checkpoint, where truncation cannot reach. *)
-  let paxos =
+  (losers, in_doubt, written_objects, chains)
+
+(* Paxos Commit acceptor state must survive post-restart reclamation: it
+   belongs to no local transaction chain, so the keep_from floor would
+   eat it. Condense it — for a decided transaction only the decision
+   matters; for an undecided one the highest promise and the highest-
+   ballot accept per participant instance — so it can be re-appended
+   above the reclaimed prefix, where truncation cannot reach. *)
+let condense_paxos a =
     let promises = Hashtbl.create 4 (* tid -> max ballot *) in
     let accepts = Hashtbl.create 4 (* (tid, part) -> (ballot, yes) *) in
     let decisions = Hashtbl.create 4 (* tid -> committed *) in
@@ -762,17 +869,13 @@ let recover ?anchored t =
               |> List.map (fun (part, ballot, yes) ->
                      Record.Paxos_accept { tid; part; ballot; yes })))
       (List.sort Tid.compare !tids)
-  in
-  let paxos = List.map (fun r -> (Log_manager.append t.log r, r)) paxos in
-  Log_manager.force_all t.log;
-  let keep_from =
-    List.fold_left (fun acc (_, r) -> min acc r) (min keep_from ck)
-      (Vm.dirty_pages t.vm)
-  in
-  Log_manager.truncate t.log ~keep_from;
+
+let finish_statuses t a =
   t.last_statuses <-
     List.sort compare
-      (Hashtbl.fold (fun tid s acc -> (tid, s) :: acc) a.statuses []);
+      (Hashtbl.fold (fun tid s acc -> (tid, s) :: acc) a.statuses [])
+
+let trace_recovered t a ~losers ~in_doubt =
   if Engine.tracing t.engine then
     Engine.emit t.engine
       (Rm_recovered
@@ -781,7 +884,353 @@ let recover ?anchored t =
            scanned = Array.length a.records;
            losers = List.length losers;
            in_doubt = List.length in_doubt;
+         })
+
+(* Instant restart ----------------------------------------------------- *)
+
+let record_pages a i =
+  match a.records.(i) with
+  | _, Record.Update_operation u -> u.pages
+  | _, Record.Update_value u -> Object_id.pages u.obj
+  | _ -> []
+
+(* Index the phase graphs by page and park every chain. A page's
+   [od_page_first] is the LSN of its oldest parked record: the recovery
+   LSN a window checkpoint reports for it, and the log floor it pins. *)
+let build_ondemand a g =
+  let od_op_members = Parallel_redo.op_members g in
+  let od_op_preds = Parallel_redo.op_preds g in
+  let od_val_members = Parallel_redo.value_members g in
+  let od_val_preds = Parallel_redo.value_preds g in
+  let od_page_ops = Hashtbl.create 64 in
+  let od_page_values = Hashtbl.create 64 in
+  let od_page_first = Hashtbl.create 64 in
+  let od_pending = Hashtbl.create 64 in
+  let index tbl members =
+    Array.iteri
+      (fun pos i ->
+        let lsn = fst a.records.(i) in
+        List.iter
+          (fun pid ->
+            Hashtbl.replace tbl pid
+              (pos :: Option.value (Hashtbl.find_opt tbl pid) ~default:[]);
+            (match Hashtbl.find_opt od_page_first pid with
+            | Some f when f <= lsn -> ()
+            | Some _ | None -> Hashtbl.replace od_page_first pid lsn);
+            Hashtbl.replace od_pending pid ())
+          (record_pages a i))
+      members
+  in
+  index od_page_ops od_op_members;
+  index od_page_values od_val_members;
+  (* Loser-undo members: operation records of non-winners, chained
+     newest-first per page like the value phase. Their pages are
+     already pending via the op index; this adds the undo ordering. *)
+  let undo_list = ref [] in
+  for i = Array.length a.records - 1 downto 0 do
+    match a.records.(i) with
+    | _, Record.Update_operation u when not (winner a u.tid) ->
+        undo_list := i :: !undo_list
+    | _ -> ()
+  done;
+  let od_undo_members = Array.of_list !undo_list in
+  let um = Array.length od_undo_members in
+  let od_undo_preds = Array.make um [] in
+  let last = Hashtbl.create 16 in
+  for pos = um - 1 downto 0 do
+    List.iter
+      (fun pid ->
+        (match Hashtbl.find_opt last pid with
+        | Some newer when not (List.mem newer od_undo_preds.(pos)) ->
+            od_undo_preds.(pos) <- newer :: od_undo_preds.(pos)
+        | Some _ | None -> ());
+        Hashtbl.replace last pid pos)
+      (record_pages a od_undo_members.(pos))
+  done;
+  let od_page_undos = Hashtbl.create 16 in
+  index od_page_undos od_undo_members;
+  {
+    od_analysis = a;
+    od_op_members;
+    od_op_preds;
+    od_op_applied = Array.make (Array.length od_op_members) false;
+    od_page_ops;
+    od_val_members;
+    od_val_preds;
+    od_val_applied = Array.make (Array.length od_val_members) false;
+    od_page_values;
+    od_finalized = Obj_set.create 64;
+    od_undo_members;
+    od_undo_preds;
+    od_undo_applied = Array.make um false;
+    od_page_undos;
+    od_pending;
+    od_page_first;
+    od_redo_done = Hashtbl.create 64;
+    od_paxos_floor = None;
+    od_owner = -1;
+    od_latch = Engine.Waitq.create ();
+    od_applies = 0;
+  }
+
+(* Predecessor closure of a set of member positions, sorted. Applying a
+   closure in priority order respects every edge: both phase graphs
+   only have edges from lower to higher priority. *)
+let closure preds seeds =
+  let seen = Hashtbl.create 32 in
+  let rec visit pos =
+    if not (Hashtbl.mem seen pos) then begin
+      Hashtbl.add seen pos ();
+      List.iter visit preds.(pos)
+    end
+  in
+  List.iter visit seeds;
+  List.sort compare (Hashtbl.fold (fun pos () acc -> pos :: acc) seen [])
+
+let page_members tbl pid = Option.value (Hashtbl.find_opt tbl pid) ~default:[]
+
+(* Replay the redo side of [pid]'s parked chain: the operation-phase
+   closure in forward order, then the value-phase closure newest-first.
+   Cross-page predecessors are applied too and never re-applied later —
+   the applied flags, not the sector-seqno gates, are what makes the
+   serving window safe: a page already recovered and re-written by new
+   transactions carries a high seqno, which must not resurrect a shared
+   multi-page record. *)
+let ensure_redo t st pid =
+  if not (Hashtbl.mem st.od_redo_done pid) then begin
+    List.iter
+      (fun pos ->
+        if not st.od_op_applied.(pos) then begin
+          st.od_op_applied.(pos) <- true;
+          st.od_applies <- st.od_applies + 1;
+          apply_op_redo t st.od_analysis st.od_op_members.(pos)
+        end)
+      (closure st.od_op_preds (page_members st.od_page_ops pid));
+    List.iter
+      (fun pos ->
+        if not st.od_val_applied.(pos) then begin
+          st.od_val_applied.(pos) <- true;
+          st.od_applies <- st.od_applies + 1;
+          apply_value t st.od_analysis st.od_finalized st.od_val_members.(pos)
+        end)
+      (List.rev (closure st.od_val_preds (page_members st.od_page_values pid)));
+    Hashtbl.replace st.od_redo_done pid ()
+  end
+
+(* Undo [pid]'s loser records: history is first repeated on every page
+   a needed undo touches (undo assumes the loser effect is present),
+   then the needed closure is applied newest-first — the serial
+   backward pass restricted to the records that matter for [pid]. *)
+let undo_stage t st pid =
+  let needed = closure st.od_undo_preds (page_members st.od_page_undos pid) in
+  List.iter
+    (fun pos ->
+      List.iter
+        (fun q -> ensure_redo t st q)
+        (record_pages st.od_analysis st.od_undo_members.(pos)))
+    needed;
+  List.iter
+    (fun pos ->
+      if not st.od_undo_applied.(pos) then begin
+        st.od_undo_applied.(pos) <- true;
+        st.od_applies <- st.od_applies + 1;
+        apply_op_undo t st.od_analysis st.od_undo_members.(pos)
+      end)
+    (List.rev needed)
+
+let page_recovered st pid =
+  List.for_all
+    (fun pos -> st.od_op_applied.(pos))
+    (page_members st.od_page_ops pid)
+  && List.for_all
+       (fun pos -> st.od_val_applied.(pos))
+       (page_members st.od_page_values pid)
+  && List.for_all
+       (fun pos -> st.od_undo_applied.(pos))
+       (page_members st.od_page_undos pid)
+
+let recover_page t st pid ~via =
+  st.od_owner <- Engine.fiber_id ();
+  st.od_applies <- 0;
+  ensure_redo t st pid;
+  undo_stage t st pid;
+  (* cross-page closures can complete neighbouring pages too: sweep *)
+  let completed =
+    Hashtbl.fold
+      (fun q () acc -> if page_recovered st q then q :: acc else acc)
+      st.od_pending []
+    |> List.sort compare
+  in
+  let m = Metrics.recovery (Engine.metrics t.engine) ~node:t.node in
+  List.iter
+    (fun q ->
+      Hashtbl.remove st.od_pending q;
+      match via with
+      | `Fault -> m.Metrics.ondemand_pages <- m.Metrics.ondemand_pages + 1
+      | `Trickle -> m.Metrics.trickle_pages <- m.Metrics.trickle_pages + 1)
+    completed;
+  m.Metrics.pending_pages <- Hashtbl.length st.od_pending;
+  if Engine.tracing t.engine then
+    Engine.emit t.engine
+      (Rm_ondemand_redo
+         {
+           node = t.node;
+           segment = pid.Disk.segment;
+           page = pid.Disk.page;
+           records = st.od_applies;
+           via = (match via with `Fault -> "fault" | `Trickle -> "trickle");
+           pending = Hashtbl.length st.od_pending;
          });
+  st.od_owner <- -1;
+  ignore (Engine.Waitq.signal_all st.od_latch ~engine:t.engine ())
+
+(* The Vm access gate. Every page access lands here first; if the
+   page's chain is parked, the accessor replays it before proceeding.
+   One replay at a time node-wide — the graph state is shared — so a
+   second accessor waits on the latch; the owner's own nested faults
+   (replay pins pages too) pass straight through. *)
+let ondemand_gate t pid =
+  match t.ondemand with
+  | None -> ()
+  | Some st ->
+      if st.od_owner <> Engine.fiber_id () then begin
+        while st.od_owner >= 0 do
+          Engine.Waitq.wait st.od_latch
+        done;
+        if Hashtbl.mem st.od_pending pid then recover_page t st pid ~via:`Fault
+      end
+
+(* Every chain is drained: flush the recovered state, close the window
+   with a checkpoint, and reclaim the scanned history exactly as an
+   eager restart would have. The re-appended Paxos acceptor records
+   stay protected until the TM's own floor covers them. *)
+let finalize_instant t st =
+  t.ondemand <- None;
+  Vm.set_on_fault t.vm None;
+  Vm.flush_all t.vm;
+  let ck = checkpoint t in
+  let keep_from =
+    match Log_manager.oldest_first_lsn t.log with
+    | Some first -> min ck first
+    | None -> ck
+  in
+  let keep_from =
+    List.fold_left (fun acc (_, r) -> min acc r) keep_from
+      (Vm.dirty_pages t.vm)
+  in
+  let keep_from =
+    match st.od_paxos_floor with Some f -> min keep_from f | None -> keep_from
+  in
+  let keep_from =
+    match t.truncation_floor_source () with
+    | Some f -> min keep_from f
+    | None -> keep_from
+  in
+  Log_manager.truncate t.log ~keep_from
+
+let trickle_pause = 10_000
+
+(* Background drain: oldest parked chain first (its records pin the
+   log-truncation floor), one page per pause, chosen hash-order-free so
+   runs of the same crash replay identically. Spawned on the node, so a
+   crash in the window kills it with the incarnation. *)
+let rec trickle_loop t st =
+  while st.od_owner >= 0 do
+    Engine.Waitq.wait st.od_latch
+  done;
+  if Hashtbl.length st.od_pending = 0 then finalize_instant t st
+  else begin
+    (match
+       Hashtbl.fold
+         (fun pid () best ->
+           let first = Hashtbl.find st.od_page_first pid in
+           match best with
+           | Some (bf, bp) when (bf, bp) <= (first, pid) -> best
+           | Some _ | None -> Some (first, pid))
+         st.od_pending None
+     with
+    | Some (_, pid) -> recover_page t st pid ~via:`Trickle
+    | None -> ());
+    if Hashtbl.length st.od_pending = 0 then finalize_instant t st
+    else begin
+      Engine.delay trickle_pause;
+      trickle_loop t st
+    end
+  end
+
+(* Restart paths ------------------------------------------------------- *)
+
+(* A full (eager) restart: replay everything, then flush, close with a
+   checkpoint, and reclaim the scanned prefix so repeated crashes do
+   not re-read ever-growing history. Chains of in-doubt transactions
+   must stay walkable for a late Abort verdict, and the closing
+   checkpoint carries them so the next restart can anchor on it. *)
+let recover_full t a ~t0 =
+  let replay_start = Engine.now t.engine in
+  let replayed = Hashtbl.create 32 in
+  t.replayed_pages <- Some replayed;
+  let graph =
+    match t.parallel with
+    | None ->
+        op_redo_pass t a;
+        value_backward_pass t a;
+        None
+    | Some { Parallel_redo.fibers } ->
+        (* Graph-bounded fan-out: both redo passes drain their
+           dependency graphs over [fibers] worker fibers. The undo pass
+           below stays serial — it walks loser chains newest-first. *)
+        let g = Parallel_redo.build a.records in
+        Parallel_redo.run_op_phase g t.engine ~node:t.node ~fibers
+          ~apply:(apply_op_redo t a);
+        let finalized = Obj_set.create 64 in
+        Parallel_redo.run_value_phase g t.engine ~node:t.node ~fibers
+          ~apply:(apply_value t a finalized);
+        Some (Parallel_redo.stats g)
+  in
+  op_undo_pass t a;
+  t.replayed_pages <- None;
+  let m = Metrics.recovery (Engine.metrics t.engine) ~node:t.node in
+  m.Metrics.restart_pages <- m.Metrics.restart_pages + Hashtbl.length replayed;
+  let replay_us = Engine.now t.engine - replay_start in
+  let losers, in_doubt, written_objects, chains = resolve_outcome t a in
+  (* Segments must reflect exactly committed + prepared work. *)
+  Vm.flush_all t.vm;
+  Log_manager.force_all t.log;
+  let keep_from =
+    Hashtbl.fold (fun _ (first, _) acc -> min acc first) chains
+      (Log_manager.next_lsn t.log)
+  in
+  let family_first = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun tid (first, _) ->
+      let top = Tid.top_level tid in
+      match Hashtbl.find_opt family_first top with
+      | Some f when f <= first -> ()
+      | Some _ | None -> Hashtbl.replace family_first top first)
+    chains;
+  let ck =
+    Log_manager.append t.log
+      (Record.Checkpoint
+         {
+           dirty_pages = Vm.dirty_pages t.vm;
+           active_txns =
+             List.map
+               (fun (tid, _) -> (tid, Hashtbl.find_opt family_first tid))
+               in_doubt;
+           prepared = in_doubt;
+         })
+  in
+  let paxos =
+    List.map (fun r -> (Log_manager.append t.log r, r)) (condense_paxos a)
+  in
+  Log_manager.force_all t.log;
+  let keep_from =
+    List.fold_left (fun acc (_, r) -> min acc r) (min keep_from ck)
+      (Vm.dirty_pages t.vm)
+  in
+  Log_manager.truncate t.log ~keep_from;
+  finish_statuses t a;
+  trace_recovered t a ~losers ~in_doubt;
   {
     losers;
     in_doubt;
@@ -790,6 +1239,71 @@ let recover ?anchored t =
     replay_us;
     graph;
     paxos;
+    open_early = false;
+    time_to_open_us = Engine.now t.engine - t0;
   }
+
+(* Instant restart: open after analysis. Redo and loser undo are parked
+   as per-page chains; the first touch of a page replays its chain
+   behind the access gate, and the trickle fiber drains the rest
+   oldest-first, then finalizes. Bookkeeping that later traffic depends
+   on — loser roll-back records, in-doubt chains, condensed Paxos
+   acceptor state — still happens before opening: it costs log appends
+   and one force, not replay I/O. *)
+let recover_instant t a ~t0 =
+  let losers, in_doubt, written_objects, chains = resolve_outcome t a in
+  ignore chains;
+  let paxos =
+    List.map (fun r -> (Log_manager.append t.log r, r)) (condense_paxos a)
+  in
+  Log_manager.force_all t.log;
+  let g = Parallel_redo.build a.records in
+  let st = build_ondemand a g in
+  st.od_paxos_floor <-
+    List.fold_left
+      (fun acc (lsn, _) ->
+        match acc with Some f when f <= lsn -> acc | _ -> Some lsn)
+      None paxos;
+  t.ondemand <- Some st;
+  Vm.set_on_fault t.vm (Some (fun pid -> ondemand_gate t pid));
+  ignore (Engine.spawn t.engine ~node:t.node (fun () -> trickle_loop t st));
+  let m = Metrics.recovery (Engine.metrics t.engine) ~node:t.node in
+  m.Metrics.pending_pages <- Hashtbl.length st.od_pending;
+  finish_statuses t a;
+  trace_recovered t a ~losers ~in_doubt;
+  {
+    losers;
+    in_doubt;
+    written_objects;
+    records_scanned = Array.length a.records;
+    replay_us = 0;
+    graph = Some (Parallel_redo.stats g);
+    paxos;
+    open_early = true;
+    time_to_open_us = Engine.now t.engine - t0;
+  }
+
+let recover ?anchored t =
+  let t0 = Engine.now t.engine in
+  t.recovering <- true;
+  let a = analyze ?anchored t in
+  let outcome =
+    if t.instant then recover_instant t a ~t0 else recover_full t a ~t0
+  in
+  t.recovering <- false;
+  ignore (Engine.Waitq.signal_all t.open_q ~engine:t.engine ());
+  outcome
+
+let recovering t = t.recovering
+
+(* Park until [recover] returns — the moment the node opens. On an
+   instant restart that is right after analysis; on a full restart it is
+   after replay, so a request racing recovery waits for a consistent
+   store instead of reading pages the redo passes have not reached yet.
+   Free when the node is already open: not even a suspension. *)
+let await_open t =
+  while t.recovering do
+    Engine.Waitq.wait t.open_q
+  done
 
 let statuses t = t.last_statuses

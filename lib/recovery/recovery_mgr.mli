@@ -24,7 +24,11 @@ type txn_status =
   | Active  (** no outcome on the log: a loser at crash recovery *)
 
 (** Trace events: a checkpoint record written (with the table sizes it
-    captured) and the completion of a crash-recovery pass. *)
+    captured), the completion of a crash-recovery pass, and — under
+    instant restart — each parked per-page chain replayed after the
+    node opened ([via] is ["fault"] for redo-on-first-touch, ["trickle"]
+    for the background drain; [records] counts the chain records the
+    replay drained, [pending] the chains still parked afterwards). *)
 type Tabs_sim.Trace.event +=
   | Rm_checkpoint of {
       node : int;
@@ -38,6 +42,14 @@ type Tabs_sim.Trace.event +=
       scanned : int;
       losers : int;
       in_doubt : int;
+    }
+  | Rm_ondemand_redo of {
+      node : int;
+      segment : int;
+      page : int;
+      records : int;
+      via : string;
+      pending : int;
     }
 
 (** Logical undo/redo callbacks a data server registers for its
@@ -74,6 +86,14 @@ type recovery_outcome = {
           closing checkpoint so reclamation cannot eat them. The
           Transaction Manager reseeds its acceptor from these; the LSNs
           restore the acceptor's log-truncation floor. *)
+  open_early : bool;
+      (** instant restart: the node opened right after the analysis
+          scan, with redo parked as per-page chains; [false] after a
+          full (eager) replay *)
+  time_to_open_us : int;
+      (** virtual microseconds from entering {!recover} until the node
+          could accept transactions — the whole recovery for an eager
+          restart, analysis plus bookkeeping only for an instant one *)
 }
 
 (** [create engine ~node ~log ~vm ?profile ?group_commit
@@ -96,7 +116,14 @@ type recovery_outcome = {
     graph over the configured number of simulator fibers; omitted (the
     default), no dependency record is written and replay is serial —
     the log and every virtual timing are byte-identical to a build
-    without the feature. *)
+    without the feature. [?instant_restart] (default [false]) makes
+    {!recover} open the node after the analysis scan alone: redo and
+    loser undo are parked as per-page chains, replayed on first touch
+    behind the {!Tabs_accent.Vm} access gate and drained by a
+    background trickle fiber oldest-chain-first; it also turns on
+    dependency-record emission (the chains come from the same phase
+    graphs parallel recovery schedules). Off, nothing changes: no gate
+    is installed and the restart path is byte-identical. *)
 val create :
   Tabs_sim.Engine.t ->
   node:int ->
@@ -107,6 +134,7 @@ val create :
   ?checkpointing:Checkpointer.config ->
   ?log_space_limit:int ->
   ?parallel_recovery:Parallel_redo.config ->
+  ?instant_restart:bool ->
   unit ->
   t
 
@@ -234,8 +262,37 @@ val maybe_reclaim : t -> bool
     (operation forward, value backward) are drained over N simulator
     fibers under the dependency graph of {!Parallel_redo}; the undo
     pass stays serial. With one fiber the schedule is exactly the
-    serial order, record for record. *)
+    serial order, record for record.
+
+    With [?instant_restart] configured at {!create}, [recover] returns
+    right after the analysis scan and the restart bookkeeping (loser
+    roll-back records, in-doubt chain re-registration, Paxos acceptor
+    condensation): the outcome has [open_early = true], [replay_us = 0],
+    and every page's redo work parked. The first transaction to touch a
+    page replays that page's chain before its access proceeds; a
+    trickle fiber replays untouched pages oldest-first and, once every
+    chain is drained, flushes, checkpoints, and reclaims the log as an
+    eager restart would have. Fuzzy checkpoints taken while chains are
+    parked report those pages at their oldest parked record, so a
+    re-crash in the serving window recovers correctly. *)
 val recover : ?anchored:bool -> t -> recovery_outcome
+
+(** [recovering t] is true while a {!recover} call is in progress. In
+    that window the chain table rebuilt from the log is incomplete, so
+    the Recovery Manager pins its reclamation floor at the log's first
+    retained record and the checkpoint daemon skips its cycles — a
+    truncation decided mid-recovery would otherwise eat undo records
+    that in-doubt transactions still need. *)
+val recovering : t -> bool
+
+(** [await_open t] parks the calling fiber until the in-progress
+    {!recover} returns — the moment the node opens for service. Server
+    operations racing a restart call this before touching data: on a
+    full restart the store is consistent only after replay, and on an
+    instant restart analysis must finish installing the per-page gates
+    first. Free (not even a suspension) when the node is already
+    open. *)
+val await_open : t -> unit
 
 (** [set_apply_hook t (Some f)] installs test instrumentation: [f] is
     called, in application order, for every redo or undo actually

@@ -19,6 +19,7 @@ module Int_array = struct
     placement : Placement.t;
     logical : string;
     n_keys : int;
+    segment : int;
     instances : (int * Int_array_server.t) list;
   }
 
@@ -42,9 +43,28 @@ module Int_array = struct
             ~cells:(max 1 (hi - lo))
             ())
     in
-    { placement; logical = name; n_keys = keys; instances }
+    { placement; logical = name; n_keys = keys; segment; instances }
 
   let keys t = t.n_keys
+
+  let reinstall t ~shard (env : Server_lib.env) =
+    let lo, hi =
+      match
+        List.find_opt (fun (s, _, _) -> s = shard)
+          (Placement.ranges t.placement ~server:t.logical)
+      with
+      | Some (_, lo, hi) -> (lo, hi)
+      | None -> invalid_arg "Sharded.Int_array.reinstall: unknown shard"
+    in
+    let instance =
+      Placement.instance_name t.placement ~server:t.logical ~shard
+    in
+    Placement.publish t.placement env.ns ~server:t.logical
+      ~only_node:(Some env.node);
+    Int_array_server.create env ~name:instance
+      ~segment:(t.segment + shard)
+      ~cells:(max 1 (hi - lo))
+      ()
 
   let instances t = t.instances
 

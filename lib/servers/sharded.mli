@@ -23,6 +23,13 @@ module Int_array : sig
 
   val keys : t -> int
 
+  (** [reinstall t ~shard env] re-creates shard [shard]'s physical
+      instance against a restarted node's fresh environment (same
+      instance name, segment, and cell count as {!deploy} chose) and
+      re-publishes the placement map into the node's new directory.
+      For use from a {!Tabs_core.Node.restart} [reinstall] callback. *)
+  val reinstall : t -> shard:int -> Tabs_core.Server_lib.env -> Int_array_server.t
+
   (** [instances t] lists [(shard, instance)] (for tests). *)
   val instances : t -> (int * Int_array_server.t) list
 

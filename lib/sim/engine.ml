@@ -204,6 +204,8 @@ let fiber_node () =
   let f = self () in
   if f.node_id < 0 then None else Some f.node_id
 
+let fiber_id () = (self ()).id
+
 let delay micros =
   if micros < 0 then invalid_arg "Engine.delay: negative";
   let fiber = self () in

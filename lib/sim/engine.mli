@@ -136,6 +136,12 @@ val reset_cpu : t -> unit
 (** [fiber_node ()] is the node of the calling fiber, if bound. *)
 val fiber_node : unit -> int option
 
+(** [fiber_id ()] is the calling fiber's engine-unique identifier
+    (deterministic: ids come from a per-engine spawn counter). Used as
+    an owner token by re-entrant latches such as the instant-restart
+    per-page replay. *)
+val fiber_id : unit -> int
+
 (** {2 Wait queues}
 
     A wait queue suspends fibers until signaled, optionally with a

@@ -36,6 +36,17 @@ type msgs = {
    with locks held — under 2PC the data stays locked forever. *)
 type tm = { mutable resolutions_abandoned : int }
 
+(* [recovery] counts per-node crash-recovery page replays by who drove
+   them: eagerly inside [Recovery_mgr.recover] (the classic restart),
+   on demand at first touch, or by the instant-restart background
+   trickle. [pending_pages] is a gauge: per-page chains still parked. *)
+type recovery = {
+  mutable restart_pages : int;
+  mutable ondemand_pages : int;
+  mutable trickle_pages : int;
+  mutable pending_pages : int;
+}
+
 (* Per-node rollup of the charged counters, by the node of the fiber
    that paid them (scale-out benches report per-shard load from it).
    Purely observational: entries appear lazily, and nothing reads them
@@ -48,6 +59,7 @@ type t = {
   elided : int array;
   msgs : msgs;
   tm : tm;
+  recovery_rows : (int, recovery) Hashtbl.t;
   per_node : (int, int array) Hashtbl.t;
   mutable node_rows : int array array;
 }
@@ -55,6 +67,17 @@ type t = {
 let zero_tm () = { resolutions_abandoned = 0 }
 
 let copy_tm (m : tm) = { resolutions_abandoned = m.resolutions_abandoned }
+
+let zero_recovery () =
+  { restart_pages = 0; ondemand_pages = 0; trickle_pages = 0; pending_pages = 0 }
+
+let copy_recovery (r : recovery) =
+  {
+    restart_pages = r.restart_pages;
+    ondemand_pages = r.ondemand_pages;
+    trickle_pages = r.trickle_pages;
+    pending_pages = r.pending_pages;
+  }
 
 let zero_msgs () =
   {
@@ -87,6 +110,7 @@ let create () =
     elided = Array.make size 0;
     msgs = zero_msgs ();
     tm = zero_tm ();
+    recovery_rows = Hashtbl.create 4;
     per_node = Hashtbl.create 8;
     node_rows = [||];
   }
@@ -94,6 +118,17 @@ let create () =
 let msgs t = t.msgs
 
 let tm t = t.tm
+
+let recovery t ~node =
+  match Hashtbl.find_opt t.recovery_rows node with
+  | Some r -> r
+  | None ->
+      let r = zero_recovery () in
+      Hashtbl.add t.recovery_rows node r;
+      r
+
+let recovery_nodes t =
+  List.sort compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.recovery_rows [])
 
 let copy_msgs m =
   {
@@ -209,19 +244,25 @@ let reset t =
   m.delayed_acks <- 0;
   m.ack_deliveries_covered <- 0;
   m.duplicate_reacks <- 0;
-  t.tm.resolutions_abandoned <- 0
+  t.tm.resolutions_abandoned <- 0;
+  Hashtbl.reset t.recovery_rows
 
 let snapshot t =
   let per_node = Hashtbl.create (max 1 (Hashtbl.length t.per_node)) in
   Hashtbl.iter
     (fun n arr -> Hashtbl.replace per_node n (Array.copy arr))
     t.per_node;
+  let recovery_rows = Hashtbl.create (max 1 (Hashtbl.length t.recovery_rows)) in
+  Hashtbl.iter
+    (fun n r -> Hashtbl.replace recovery_rows n (copy_recovery r))
+    t.recovery_rows;
   {
     baseline = t.baseline;
     charged = Array.copy t.charged;
     elided = Array.copy t.elided;
     msgs = copy_msgs t.msgs;
     tm = copy_tm t.tm;
+    recovery_rows;
     per_node;
     node_rows =
       Array.map
@@ -240,6 +281,24 @@ let diff ~later ~earlier =
       in
       Hashtbl.replace per_node n (Array.init size (fun i -> arr.(i) - base.(i))))
     later.per_node;
+  let recovery_rows =
+    Hashtbl.create (max 1 (Hashtbl.length later.recovery_rows))
+  in
+  Hashtbl.iter
+    (fun n (r : recovery) ->
+      let base =
+        match Hashtbl.find_opt earlier.recovery_rows n with
+        | Some b -> b
+        | None -> zero_recovery ()
+      in
+      Hashtbl.replace recovery_rows n
+        {
+          restart_pages = r.restart_pages - base.restart_pages;
+          ondemand_pages = r.ondemand_pages - base.ondemand_pages;
+          trickle_pages = r.trickle_pages - base.trickle_pages;
+          pending_pages = r.pending_pages - base.pending_pages;
+        })
+    later.recovery_rows;
   let node_rows =
     Array.mapi
       (fun n row ->
@@ -259,6 +318,7 @@ let diff ~later ~earlier =
     baseline = later.baseline;
     per_node;
     node_rows;
+    recovery_rows;
     charged = Array.init size (fun i -> later.charged.(i) - earlier.charged.(i));
     elided = Array.init size (fun i -> later.elided.(i) - earlier.elided.(i));
     msgs =

@@ -28,6 +28,20 @@ type msgs = {
     blocked with write locks held. Mutate only from {!Tabs_tm.Txn_mgr}. *)
 type tm = { mutable resolutions_abandoned : int }
 
+(** Per-node crash-recovery progress counters, kept by the Recovery
+    Managers: page replays attributed to who drove them — eagerly
+    inside [recover] (the classic restart path), on demand at first
+    touch after an instant restart, or by the instant-restart
+    background trickle. [pending_pages] is a gauge: per-page chains
+    still parked for lazy replay. Mutate only from
+    [Tabs_recovery.Recovery_mgr]. *)
+type recovery = {
+  mutable restart_pages : int;
+  mutable ondemand_pages : int;
+  mutable trickle_pages : int;
+  mutable pending_pages : int;
+}
+
 val create : unit -> t
 
 (** [msgs t] is the live message-counter block (shared mutable state;
@@ -37,6 +51,14 @@ val msgs : t -> msgs
 (** [tm t] is the live Transaction Manager counter block (shared mutable
     state; {!snapshot} and {!diff} copy it). *)
 val tm : t -> tm
+
+(** [recovery t ~node] is [node]'s live recovery counter block, created
+    zeroed on first access (shared mutable state; {!snapshot} and
+    {!diff} copy it). *)
+val recovery : t -> node:int -> recovery
+
+(** [recovery_nodes t] lists node ids with a recovery counter block. *)
+val recovery_nodes : t -> int list
 
 (** [record t p] counts one execution of primitive [p]. *)
 val record : t -> Cost_model.primitive -> unit

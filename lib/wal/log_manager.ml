@@ -337,6 +337,23 @@ let dep_aligned_keep_from t ~keep_from =
     | _ -> keep_from
     | exception Not_found -> keep_from
 
+(* Checkpoint-time pruning of the last-writer table. Entries at or
+   above [floor] may still seed dependency edges a restart would keep;
+   entries below it cannot: [floor] is the checkpoint's scan anchor
+   (min of the checkpoint LSN, its dirty pages' recovery LSNs, and its
+   live families' first-update LSNs), every later checkpoint's anchor
+   is at least as high, and [Parallel_redo.build] drops predecessor
+   edges below the anchor because their effects are provably on disk.
+   Dropping the entry merely skips emitting an edge that replay would
+   discard anyway. *)
+let prune_last_writer t ~floor =
+  if t.dep_logging then
+    Hashtbl.filter_map_inplace
+      (fun _ ((_, lsn) as v) -> if lsn < floor then None else Some v)
+      t.last_writer
+
+let last_writer_size t = Hashtbl.length t.last_writer
+
 let truncate t ~keep_from =
   let keep_from = dep_aligned_keep_from t ~keep_from in
   Stable.truncate_prefix t.stable ~keep_from;

@@ -84,6 +84,20 @@ val dep_logging : t -> bool
 (** Number of dependency records appended (statistics). *)
 val deps_emitted : t -> int
 
+(** [prune_last_writer t ~floor] drops last-writer entries whose update
+    LSN is below [floor]. The Recovery Manager calls it at checkpoint
+    time with the checkpoint's scan anchor (the minimum of the
+    checkpoint LSN, its dirty pages' recovery LSNs, and its live
+    families' first-update LSNs): a dependency edge against an entry
+    below that anchor would be discarded at replay anyway — the
+    predecessor's effect is provably on disk — so long runs no longer
+    grow the table with every object ever touched. No-op when
+    dependency logging is off. *)
+val prune_last_writer : t -> floor:lsn -> unit
+
+(** Current entry count of the last-writer table (statistics). *)
+val last_writer_size : t -> int
+
 (** [dep_aligned_keep_from t ~keep_from] lowers a prospective truncation
     point so it never falls between an update record and its dependency
     record (the pair is adjacent, so at most one LSN of adjustment).

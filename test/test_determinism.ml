@@ -174,6 +174,122 @@ let recovery_fingerprint ~seed () =
   in
   (trace, summary, Engine.now engine, Engine.events_processed engine)
 
+(* An instant restart — open after analysis, chains replayed on first
+   touch and by the trickle, under post-restart traffic — must also be
+   mode-independent: same trace (including the ondemand_redo events),
+   same page counters, same time-to-open. *)
+let instant_fingerprint ~seed () =
+  let cells = 64 in
+  let c =
+    Cluster.create ~nodes:1 ~seed
+      ~parallel_recovery:{ Tabs_recovery.Parallel_redo.fibers = 4 }
+      ~instant_restart:true
+      ~checkpointing:{ Tabs_recovery.Checkpointer.interval = 50_000; trickle = 4 }
+      ()
+  in
+  let node = Cluster.node c 0 in
+  let arr =
+    Int_array_server.create (Node.env node) ~name:"a" ~segment:1 ~cells ()
+  in
+  ignore arr;
+  let engine = Cluster.engine c in
+  let recorder = Recorder.attach engine in
+  let tm = Node.tm node in
+  for w = 0 to 1 do
+    Cluster.spawn c ~node:0 (fun () ->
+        let s = ref (seed + (w * 7919) + 1) in
+        let rand n =
+          s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+          !s mod n
+        in
+        while true do
+          (try
+             Txn_lib.execute_transaction tm (fun tid ->
+                 for _ = 0 to rand 3 do
+                   Int_array_server.set arr tid (rand cells) (rand 1000)
+                 done)
+           with
+          | Errors.Transaction_is_aborted _ | Errors.Deadlock _
+          | Errors.Lock_timeout _ ->
+              ());
+          Engine.delay (1 + rand 2_000)
+        done)
+  done;
+  Cluster.run_until c ~time:(400_000 + (seed * 37_000));
+  Node.crash node;
+  let outcome =
+    Cluster.run_fiber c ~node:0 (fun () ->
+        let o =
+          Node.restart node
+            ~reinstall:(fun env ->
+              ignore
+                (Int_array_server.create env ~name:"a" ~segment:1 ~cells ()))
+            ()
+        in
+        (* post-restart traffic races the trickle: some chains drain on
+           first touch, the rest in the background *)
+        Cluster.spawn c ~node:0 (fun () ->
+            let s = ref (seed + 13) in
+            let rand n =
+              s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+              !s mod n
+            in
+            let tm' = Node.tm node in
+            for _ = 1 to 20 do
+              (try
+                 Txn_lib.execute_transaction tm' (fun tid ->
+                     Int_array_server.set arr tid (rand cells) (rand 1000))
+               with
+              | Errors.Transaction_is_aborted _ | Errors.Deadlock _
+              | Errors.Lock_timeout _ ->
+                  ());
+              Engine.delay (1 + rand 500)
+            done);
+        o)
+  in
+  let trace = List.map Jsonl.entry_to_json (Recorder.entries recorder) in
+  Recorder.detach recorder;
+  let summary =
+    let open Tabs_recovery in
+    let m = Metrics.recovery (Engine.metrics engine) ~node:0 in
+    Printf.sprintf
+      "scanned=%d losers=%d open_early=%b tto=%d pages=%d/%d/%d/%d"
+      outcome.Recovery_mgr.records_scanned
+      (List.length outcome.Recovery_mgr.losers)
+      outcome.Recovery_mgr.open_early outcome.Recovery_mgr.time_to_open_us
+      m.Metrics.restart_pages m.Metrics.ondemand_pages
+      m.Metrics.trickle_pages m.Metrics.pending_pages
+  in
+  (trace, summary, Engine.now engine, Engine.events_processed engine)
+
+let compare_fingerprints ~what ~seed fast base =
+  let trace_f, summary_f, now_f, events_f = fast in
+  let trace_b, summary_b, now_b, events_b = base in
+  Alcotest.(check string)
+    (Printf.sprintf "seed %d: %s summary" seed what)
+    summary_b summary_f;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: trace length" seed)
+    (List.length trace_b) (List.length trace_f);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "seed %d: trace line %d differs:\n  fast: %s\n  base: %s"
+          seed i a b)
+    (List.combine trace_f trace_b);
+  Alcotest.(check int) (Printf.sprintf "seed %d: final now" seed) now_b now_f;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d: events processed" seed)
+    events_b events_f
+
+let test_instant_identical () =
+  List.iter
+    (fun seed ->
+      compare_fingerprints ~what:"instant restart" ~seed
+        (Sim_profile.with_baseline false (instant_fingerprint ~seed))
+        (Sim_profile.with_baseline true (instant_fingerprint ~seed)))
+    [ 2; 7 ]
+
 let test_recovery_identical () =
   List.iter
     (fun seed ->
@@ -212,5 +328,7 @@ let suites =
         quick "fast = baseline on clean run" test_lossless_identical;
         quick "fast = baseline on crash and parallel restart"
           test_recovery_identical;
+        quick "fast = baseline on instant restart under traffic"
+          test_instant_identical;
       ] );
   ]

@@ -8,5 +8,6 @@ let () =
    @ Test_paxos.suites
    @ Test_group_commit.suites
    @ Test_checkpoint.suites @ Test_parallel_recovery.suites
+   @ Test_instant_restart.suites
    @ Test_comm_batch.suites
    @ Test_scaleout.suites @ Test_bench_shapes.suites)
